@@ -1,0 +1,112 @@
+// Package acme is the public API of this reproduction of "ACME:
+// Adaptive Customization of Large Models via Distributed Systems"
+// (Dai, Qiu, Gao, Zhao, Wang — ICDCS 2025).
+//
+// ACME customizes Transformer-based models for fleets of heterogeneous
+// devices through a bidirectional single-loop distributed system:
+//
+//   - the cloud server prunes and distills a reference backbone into
+//     (width, depth) variants and assigns each edge cluster the most
+//     cost-efficient one via a Pareto Front Grid over
+//     (loss, energy, size) under the cluster's storage constraint
+//     (Phase 1);
+//   - each edge server searches a classification header matched to its
+//     backbone with an ENAS-style LSTM controller (Phase 2-1);
+//   - devices refine the header on local data, exchanging Taylor
+//     importance sets that the edge aggregates with Wasserstein-distance
+//     similarity weights (Phase 2-2).
+//
+// Quick start:
+//
+//	cfg := acme.DefaultConfig()
+//	cfg.EdgeServers = 2
+//	res, err := acme.Run(context.Background(), cfg)
+//	if err != nil { ... }
+//	fmt.Println(res.MeanAccuracyFinal())
+//
+// The heavy lifting lives in internal packages (nn, prune, pareto, nas,
+// wasserstein, aggregate, transport, core); this package re-exports the
+// configuration surface and the system runner.
+package acme
+
+import (
+	"context"
+
+	"acme/internal/core"
+	"acme/internal/data"
+	"acme/internal/transport"
+)
+
+// Config assembles every knob of a full ACME run. See core.Config for
+// field documentation.
+type Config = core.Config
+
+// Result aggregates the outcome of one run: per-device reports,
+// backbone assignments, and measured traffic.
+type Result = core.Result
+
+// DeviceReport is one device's final metrics.
+type DeviceReport = core.DeviceReport
+
+// System is a configured fleet ready to Run.
+type System = core.System
+
+// AggregationMethod selects the Phase 2-2 weighting scheme.
+type AggregationMethod = core.AggregationMethod
+
+// Aggregation methods for Config.Aggregation.
+const (
+	AggregateWasserstein = core.AggregateWasserstein // ACME
+	AggregateJS          = core.AggregateJS
+	AggregateAverage     = core.AggregateAverage
+	AggregateAlone       = core.AggregateAlone
+)
+
+// ConfusionLevel indexes the non-IID data-difficulty ladder.
+type ConfusionLevel = data.ConfusionLevel
+
+// Confusion levels for Config.Level.
+const (
+	IID = data.IID
+	C1  = data.C1
+	C2  = data.C2
+	C3  = data.C3
+)
+
+// DefaultConfig returns a micro-scale configuration that runs a full
+// pipeline in seconds.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// NewSystem validates cfg and materializes the fleet, datasets, and
+// in-memory network.
+func NewSystem(cfg Config) (*System, error) { return core.NewSystem(cfg) }
+
+// Run executes the full three-tier pipeline and returns the result.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return sys.Run(ctx)
+}
+
+// Network moves protocol messages between named nodes. The in-memory
+// implementation is used by Run; NewTCPNetwork provides a socket-backed
+// one for multi-process deployments.
+type Network = transport.Network
+
+// TCPNetwork is a socket-backed Network; close it when done.
+type TCPNetwork = transport.TCP
+
+// NewTCPNetwork starts a TCP network node for the named role listening
+// on addr, with peers mapping every role name to its address.
+func NewTCPNetwork(node, addr string, peers map[string]string) (*TCPNetwork, error) {
+	return transport.NewTCP(node, addr, peers)
+}
+
+// NewSystemWithNetwork builds the system over a caller-provided network
+// (e.g. a TCPNetwork). Every participating process must use an
+// identical Config, then call System.RunRole for its own role.
+func NewSystemWithNetwork(cfg Config, net Network) (*System, error) {
+	return core.NewSystemWithNetwork(cfg, net)
+}

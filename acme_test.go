@@ -1,0 +1,139 @@
+package acme
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"acme/internal/experiments"
+)
+
+// smallConfig is a fast end-to-end configuration for facade tests.
+func smallConfig() Config {
+	cfg := experiments.MicroConfig()
+	cfg.Fleet.DevicesPerCluster = 2
+	cfg.SamplesPerDevice = 60
+	cfg.Phase2Rounds = 1
+	return cfg
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	res, err := Run(ctx, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reports) != 2 {
+		t.Fatalf("got %d reports", len(res.Reports))
+	}
+	if res.MeanAccuracyFinal() <= 0 {
+		t.Fatal("zero final accuracy")
+	}
+}
+
+func TestRunDeterministicAcrossSeeds(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+	cfg := smallConfig()
+	a, err := Run(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanAccuracyFinal() != b.MeanAccuracyFinal() {
+		t.Fatalf("same seed produced different results: %v vs %v",
+			a.MeanAccuracyFinal(), b.MeanAccuracyFinal())
+	}
+	cfg.Seed = 999
+	c, err := Run(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different seeds should (almost surely) differ somewhere.
+	if c.MeanAccuracyFinal() == a.MeanAccuracyFinal() && c.MeanAccuracyCoarse() == a.MeanAccuracyCoarse() {
+		t.Log("warning: different seeds produced identical accuracies (possible but unlikely)")
+	}
+}
+
+func TestInvalidConfigRejected(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Widths = nil
+	if _, err := Run(context.Background(), cfg); err == nil {
+		t.Fatal("empty width lattice accepted")
+	}
+	cfg2 := smallConfig()
+	cfg2.Backbone.DModel = 7 // not divisible by heads
+	if _, err := Run(context.Background(), cfg2); err == nil {
+		t.Fatal("bad backbone accepted")
+	}
+}
+
+// TestTCPRoles runs the full pipeline with every role on its own TCP
+// socket — the exact wire path of a multi-process deployment.
+func TestTCPRoles(t *testing.T) {
+	cfg := smallConfig()
+
+	probe, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roles := probe.RoleNames()
+
+	nets := make(map[string]*TCPNetwork, len(roles))
+	peers := make(map[string]string, len(roles))
+	for _, role := range roles {
+		n, err := NewTCPNetwork(role, "127.0.0.1:0", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer n.Close()
+		nets[role] = n
+		peers[role] = n.Addr()
+	}
+	for _, role := range roles {
+		nets[role].SetPeers(peers)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var collected *Result
+	errc := make(chan error, len(roles))
+	for _, role := range roles {
+		role := role
+		sys, err := NewSystemWithNetwork(cfg, nets[role])
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := sys.RunRole(ctx, role)
+			if err != nil {
+				errc <- err
+				cancel()
+				return
+			}
+			if res != nil {
+				mu.Lock()
+				collected = res
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	if collected == nil || len(collected.Reports) != 2 {
+		t.Fatalf("collector got %+v", collected)
+	}
+}

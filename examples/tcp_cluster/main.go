@@ -1,0 +1,90 @@
+// TCP cluster: run every ACME role over real localhost sockets — the
+// same wire path cmd/acmenode uses across machines — inside one
+// process. Each role gets its own TCP listener and its own System
+// instance built from the identical config, exactly as separate OS
+// processes would.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"acme"
+)
+
+func main() {
+	cfg := acme.DefaultConfig()
+	cfg.EdgeServers = 1
+	cfg.Fleet.Clusters = 1
+	cfg.Fleet.DevicesPerCluster = 2
+	cfg.SamplesPerDevice = 80
+	cfg.Phase2Rounds = 1
+
+	// Build one system just to enumerate the roles.
+	probe, err := acme.NewSystem(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	roles := probe.RoleNames()
+
+	// Start one TCP listener per role on an ephemeral port, then share
+	// the full peer table.
+	nets := make(map[string]*acme.TCPNetwork, len(roles))
+	peers := make(map[string]string, len(roles))
+	for _, role := range roles {
+		n, err := acme.NewTCPNetwork(role, "127.0.0.1:0", nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nets[role] = n
+		peers[role] = n.Addr()
+		defer n.Close()
+	}
+	// Late-bind the peer tables now that every port is known.
+	for _, role := range roles {
+		nets[role].SetPeers(peers)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var collected *acme.Result
+	errs := make(chan error, len(roles))
+	for _, role := range roles {
+		role := role
+		sys, err := acme.NewSystemWithNetwork(cfg, nets[role])
+		if err != nil {
+			log.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := sys.RunRole(ctx, role)
+			if err != nil {
+				errs <- fmt.Errorf("%s: %w", role, err)
+				cancel()
+				return
+			}
+			if res != nil {
+				mu.Lock()
+				collected = res
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		log.Fatal(err)
+	}
+
+	fmt.Println("TCP cluster run complete — reports received over sockets:")
+	for _, r := range collected.Reports {
+		fmt.Printf("  device-%d: accuracy %.3f → %.3f\n", r.DeviceID, r.AccuracyCoarse, r.AccuracyFinal)
+	}
+}

@@ -1,0 +1,209 @@
+// Package aggregate implements ACME's personalized architecture
+// aggregation (Algorithm 2): the edge server combines the devices'
+// header importance sets with similarity weights, Q'ₙ = Σᵢ ŵₙᵢ·Qᵢ
+// (Eq. 21), and redistributes the personalized sets.
+//
+// The package also provides the Fig. 11 baselines: Alone (no
+// aggregation), Average (uniform weights), and JS (Jensen–Shannon
+// similarity instead of Wasserstein).
+package aggregate
+
+import (
+	"fmt"
+	"math/rand"
+
+	"acme/internal/importance"
+	"acme/internal/wasserstein"
+)
+
+// Method selects the aggregation strategy.
+type Method int
+
+// Aggregation methods (Fig. 11).
+const (
+	Alone Method = iota + 1
+	Average
+	JS
+	Wasserstein // ACME
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case Alone:
+		return "alone"
+	case Average:
+		return "average"
+	case JS:
+		return "js"
+	case Wasserstein:
+		return "wasserstein"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Combine applies Eq. 21: out[n] = Σᵢ sim[n][i]·sets[i]. sim must be a
+// row-stochastic |N|×|N| matrix (from wasserstein.SimilarityFromDistances).
+func Combine(sets []*importance.Set, sim [][]float64) ([]*importance.Set, error) {
+	n := len(sets)
+	if len(sim) != n {
+		return nil, fmt.Errorf("aggregate: %d sets vs %d similarity rows", n, len(sim))
+	}
+	out := make([]*importance.Set, n)
+	for i := range out {
+		if len(sim[i]) != n {
+			return nil, fmt.Errorf("aggregate: similarity row %d has %d cols, want %d", i, len(sim[i]), n)
+		}
+		acc := sets[0].Clone()
+		acc.Scale(0)
+		for j, w := range sim[i] {
+			if err := acc.AddScaled(w, sets[j]); err != nil {
+				return nil, fmt.Errorf("aggregate: device %d += %d: %w", i, j, err)
+			}
+		}
+		out[i] = acc
+	}
+	return out, nil
+}
+
+// UniformMatrix returns the n×n matrix with every entry 1/n (the Avg
+// baseline's weights).
+func UniformMatrix(n int) [][]float64 {
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		for j := range m[i] {
+			m[i][j] = 1 / float64(n)
+		}
+	}
+	return m
+}
+
+// IdentityMatrix returns the n×n identity (the Alone baseline's
+// weights: each device keeps only its own set).
+func IdentityMatrix(n int) [][]float64 {
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		m[i][i] = 1
+	}
+	return m
+}
+
+// WassersteinSimilarity builds the Eq. 19–20 similarity matrix from
+// per-device probe features using the sliced p-Wasserstein distance.
+func WassersteinSimilarity(features [][][]float64, p float64, projections int, rng *rand.Rand) ([][]float64, error) {
+	dist, err := wassersteinDistances(features, p, projections, rng)
+	if err != nil {
+		return nil, err
+	}
+	return wasserstein.SimilarityFromDistances(dist)
+}
+
+// WassersteinSimilarityRaw is WassersteinSimilarity without the final
+// row-softmax — the matrix the Fig. 10 heatmaps display.
+func WassersteinSimilarityRaw(features [][][]float64, p float64, projections int, rng *rand.Rand) ([][]float64, error) {
+	dist, err := wassersteinDistances(features, p, projections, rng)
+	if err != nil {
+		return nil, err
+	}
+	return wasserstein.SimilarityRaw(dist)
+}
+
+func wassersteinDistances(features [][][]float64, p float64, projections int, rng *rand.Rand) ([][]float64, error) {
+	n := len(features)
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d, err := wasserstein.Sliced(features[i], features[j], p, projections, rng)
+			if err != nil {
+				return nil, fmt.Errorf("aggregate: devices %d,%d: %w", i, j, err)
+			}
+			dist[i][j] = d
+			dist[j][i] = d
+		}
+	}
+	return dist, nil
+}
+
+// JSSimilarity builds the similarity matrix from per-device label
+// histograms with Jensen–Shannon divergence as the distance (the JS
+// baseline of Fig. 10–11).
+func JSSimilarity(histograms [][]float64) ([][]float64, error) {
+	dist, err := jsDistances(histograms)
+	if err != nil {
+		return nil, err
+	}
+	return wasserstein.SimilarityFromDistances(dist)
+}
+
+// JSSimilarityRaw is JSSimilarity without the final row-softmax.
+func JSSimilarityRaw(histograms [][]float64) ([][]float64, error) {
+	dist, err := jsDistances(histograms)
+	if err != nil {
+		return nil, err
+	}
+	return wasserstein.SimilarityRaw(dist)
+}
+
+func jsDistances(histograms [][]float64) ([][]float64, error) {
+	n := len(histograms)
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d, err := wasserstein.JSDivergence(histograms[i], histograms[j])
+			if err != nil {
+				return nil, fmt.Errorf("aggregate: devices %d,%d: %w", i, j, err)
+			}
+			dist[i][j] = d
+			dist[j][i] = d
+		}
+	}
+	return dist, nil
+}
+
+// MatrixFor returns the weight matrix for the given method. For JS it
+// needs label histograms; for Wasserstein it needs probe features.
+// distScale multiplies raw distances before the Eq. 19–20 mapping; at
+// micro scale feature distances are ≪1 and the row softmax would wash
+// out otherwise (paper-scale image features have distances ≫1).
+func MatrixFor(m Method, n int, histograms [][]float64, features [][][]float64, rng *rand.Rand, distScale float64) ([][]float64, error) {
+	if distScale <= 0 {
+		distScale = 1
+	}
+	scale := func(dist [][]float64) [][]float64 {
+		for i := range dist {
+			for j := range dist[i] {
+				dist[i][j] *= distScale
+			}
+		}
+		return dist
+	}
+	switch m {
+	case Alone:
+		return IdentityMatrix(n), nil
+	case Average:
+		return UniformMatrix(n), nil
+	case JS:
+		dist, err := jsDistances(histograms)
+		if err != nil {
+			return nil, err
+		}
+		return wasserstein.SimilarityFromDistances(scale(dist))
+	case Wasserstein:
+		dist, err := wassersteinDistances(features, 1, 24, rng)
+		if err != nil {
+			return nil, err
+		}
+		return wasserstein.SimilarityFromDistances(scale(dist))
+	default:
+		return nil, fmt.Errorf("aggregate: unknown method %v", m)
+	}
+}

@@ -1,0 +1,162 @@
+package aggregate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"acme/internal/importance"
+)
+
+func makeSets(vals ...float64) []*importance.Set {
+	sets := make([]*importance.Set, len(vals))
+	for i, v := range vals {
+		sets[i] = &importance.Set{Layers: [][]float64{{v, v * 2}, {v * 3}}}
+	}
+	return sets
+}
+
+func TestCombineIdentityIsAlone(t *testing.T) {
+	sets := makeSets(1, 2, 3)
+	out, err := Combine(sets, IdentityMatrix(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out {
+		for l := range out[i].Layers {
+			for j := range out[i].Layers[l] {
+				if out[i].Layers[l][j] != sets[i].Layers[l][j] {
+					t.Fatalf("identity combine changed device %d", i)
+				}
+			}
+		}
+	}
+}
+
+func TestCombineUniformIsMean(t *testing.T) {
+	sets := makeSets(0, 3, 6)
+	out, err := Combine(sets, UniformMatrix(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean of {0,3,6} = 3 in the first slot of layer 0.
+	if got := out[0].Layers[0][0]; math.Abs(got-3) > 1e-12 {
+		t.Fatalf("uniform combine got %v want 3", got)
+	}
+	// All devices receive the same set under uniform weights.
+	for i := 1; i < 3; i++ {
+		if out[i].Layers[0][0] != out[0].Layers[0][0] {
+			t.Fatal("uniform combine must be identical across devices")
+		}
+	}
+}
+
+func TestCombinePreservesTotalWithStochasticWeights(t *testing.T) {
+	sets := makeSets(1, 2)
+	sim := [][]float64{{0.75, 0.25}, {0.4, 0.6}}
+	out, err := Combine(sets, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want0 := 0.75*1 + 0.25*2
+	if got := out[0].Layers[0][0]; math.Abs(got-want0) > 1e-12 {
+		t.Fatalf("weighted combine got %v want %v", got, want0)
+	}
+}
+
+func TestCombineShapeMismatch(t *testing.T) {
+	sets := makeSets(1, 2)
+	if _, err := Combine(sets, UniformMatrix(3)); err == nil {
+		t.Fatal("expected size mismatch error")
+	}
+	bad := []*importance.Set{
+		{Layers: [][]float64{{1}}},
+		{Layers: [][]float64{{1, 2}}},
+	}
+	if _, err := Combine(bad, UniformMatrix(2)); err == nil {
+		t.Fatal("expected layer mismatch error")
+	}
+}
+
+func TestWassersteinSimilarityGroupsDevices(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cloud := func(mu float64) [][]float64 {
+		out := make([][]float64, 40)
+		for i := range out {
+			v := make([]float64, 6)
+			for j := range v {
+				v[j] = mu + 0.5*rng.NormFloat64()
+			}
+			out[i] = v
+		}
+		return out
+	}
+	features := [][][]float64{cloud(0), cloud(0), cloud(5)}
+	sim, err := WassersteinSimilarity(features, 1, 24, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim[0][1] <= sim[0][2] {
+		t.Fatalf("same-distribution weight %v not above cross %v", sim[0][1], sim[0][2])
+	}
+}
+
+func TestJSSimilarityGroupsDevices(t *testing.T) {
+	hists := [][]float64{
+		{0.5, 0.5, 0, 0},
+		{0.45, 0.55, 0, 0},
+		{0, 0, 0.5, 0.5},
+	}
+	sim, err := JSSimilarity(hists)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim[0][1] <= sim[0][2] {
+		t.Fatalf("similar-histogram weight %v not above cross %v", sim[0][1], sim[0][2])
+	}
+}
+
+func TestMatrixForAllMethods(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	hists := [][]float64{{1, 0}, {0, 1}}
+	features := [][][]float64{{{0, 0}}, {{1, 1}}}
+	for _, m := range []Method{Alone, Average, JS, Wasserstein} {
+		sim, err := MatrixFor(m, 2, hists, features, rng, 4)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if len(sim) != 2 || len(sim[0]) != 2 {
+			t.Fatalf("%v: bad shape", m)
+		}
+		for i := range sim {
+			var sum float64
+			for _, v := range sim[i] {
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("%v: row %d sums to %v", m, i, sum)
+			}
+		}
+	}
+	if _, err := MatrixFor(Method(99), 2, hists, features, rng, 1); err == nil {
+		t.Fatal("expected unknown-method error")
+	}
+}
+
+func TestDistanceScaleSharpensWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	hists := [][]float64{{0.6, 0.4, 0}, {0.5, 0.5, 0}, {0, 0, 1}}
+	flat, err := MatrixFor(JS, 3, hists, nil, rng, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharp, err := MatrixFor(JS, 3, hists, nil, rng, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatGap := flat[0][1] - flat[0][2]
+	sharpGap := sharp[0][1] - sharp[0][2]
+	if sharpGap <= flatGap {
+		t.Fatalf("distance scale did not sharpen: %v vs %v", sharpGap, flatGap)
+	}
+}

@@ -1,0 +1,328 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"acme/internal/energy"
+	"acme/internal/nas"
+	"acme/internal/nn"
+	"acme/internal/pareto"
+)
+
+// ParamBlob is a serialized parameter tensor.
+type ParamBlob struct {
+	Name string
+	Rows int
+	Cols int
+	Data []float64
+}
+
+// DeviceStats is the device → edge attribute upload.
+type DeviceStats struct {
+	ID         int
+	VCPUs      int
+	GPU        float64
+	Storage    float64
+	Profile    energy.Profile
+	NumSamples int
+}
+
+// ClusterStats is the edge → cloud statistical-parameters upload: the
+// aggregate attributes of the edge's device cluster.
+type ClusterStats struct {
+	EdgeID     int
+	MinStorage float64
+	Profile    energy.Profile
+	DeviceIDs  []int
+}
+
+// RawShard is the device → edge shared-data upload.
+type RawShard struct {
+	DeviceID  int
+	X         [][]float64
+	Y         []int
+	Histogram []float64
+}
+
+// BackboneAssignment is the cloud → edge backbone distribution.
+type BackboneAssignment struct {
+	W           float64
+	D           int
+	ActiveDepth int
+	Cfg         nn.BackboneConfig
+	Params      []ParamBlob
+	HeadMasks   [][]bool
+	NeuronMasks [][]bool
+	Candidate   pareto.Candidate
+}
+
+// HeaderPackage is the edge → device model distribution: the customized
+// backbone plus the searched header.
+type HeaderPackage struct {
+	Backbone     BackboneAssignment
+	HeaderCfg    nas.HeaderConfig
+	Arch         nas.Architecture
+	HeaderParams []ParamBlob
+	// Masks carries the pruning state for checkpointed
+	// (post-Phase-2-2) headers.
+	Masks nas.HeaderMasks
+}
+
+// SparseLayer is one parameter tensor's importance entries in sparse
+// form: only the top-k values by magnitude, with their indices.
+type SparseLayer struct {
+	Size    int32
+	Indices []int32
+	Values  []float32
+}
+
+// ImportanceUpload is the device → edge importance set. Values travel
+// as float32: importance magnitudes are only used for ranking, and a
+// real deployment would not ship double precision. When the system is
+// configured with TopKFraction < 1, Sparse carries a top-k subset
+// instead of Layers.
+type ImportanceUpload struct {
+	DeviceID int
+	Layers   [][]float32
+	Sparse   []SparseLayer
+}
+
+// PersonalizedSet is the edge → device aggregated set Q'n. Done ends
+// the single loop (convergence or round budget reached).
+type PersonalizedSet struct {
+	Layers  [][]float32
+	Discard int
+	Done    bool
+}
+
+// sparsifySet keeps the top fraction of entries (by value) per layer.
+func sparsifySet(layers [][]float64, fraction float64) []SparseLayer {
+	out := make([]SparseLayer, len(layers))
+	for i, l := range layers {
+		k := int(fraction * float64(len(l)))
+		if k < 1 {
+			k = 1
+		}
+		if k > len(l) {
+			k = len(l)
+		}
+		idx := make([]int, len(l))
+		for j := range idx {
+			idx[j] = j
+		}
+		sort.SliceStable(idx, func(a, b int) bool { return l[idx[a]] > l[idx[b]] })
+		sl := SparseLayer{
+			Size:    int32(len(l)),
+			Indices: make([]int32, k),
+			Values:  make([]float32, k),
+		}
+		for j := 0; j < k; j++ {
+			sl.Indices[j] = int32(idx[j])
+			sl.Values[j] = float32(l[idx[j]])
+		}
+		out[i] = sl
+	}
+	return out
+}
+
+// densifySet reconstructs dense layers from a sparse upload (missing
+// entries are zero — they were below the top-k cut).
+func densifySet(sparse []SparseLayer) [][]float64 {
+	out := make([][]float64, len(sparse))
+	for i, sl := range sparse {
+		row := make([]float64, sl.Size)
+		for j, idx := range sl.Indices {
+			if int(idx) < len(row) {
+				row[idx] = float64(sl.Values[j])
+			}
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// quantizeSet converts importance layers to float32 for the wire.
+func quantizeSet(layers [][]float64) [][]float32 {
+	out := make([][]float32, len(layers))
+	for i, l := range layers {
+		row := make([]float32, len(l))
+		for j, v := range l {
+			row[j] = float32(v)
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// dequantizeSet converts wire layers back to float64.
+func dequantizeSet(layers [][]float32) [][]float64 {
+	out := make([][]float64, len(layers))
+	for i, l := range layers {
+		row := make([]float64, len(l))
+		for j, v := range l {
+			row[j] = float64(v)
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// DeviceReport is the device's final metrics, sent to the collector.
+type DeviceReport struct {
+	DeviceID       int
+	EdgeID         int
+	Width          float64
+	Depth          int
+	AccuracyCoarse float64 // after Phase 2-1 header, before refinement
+	AccuracyFinal  float64 // after Phase 2-2 loop
+	Energy         float64
+	BackboneParams int
+	HeaderParams   int
+}
+
+func blobsFromParams(params []*nn.Param) []ParamBlob {
+	out := make([]ParamBlob, len(params))
+	for i, p := range params {
+		out[i] = ParamBlob{
+			Name: p.Name,
+			Rows: p.Value.Rows,
+			Cols: p.Value.Cols,
+			Data: append([]float64(nil), p.Value.Data...),
+		}
+	}
+	return out
+}
+
+func loadParams(params []*nn.Param, blobs []ParamBlob) error {
+	if len(params) != len(blobs) {
+		return fmt.Errorf("core: %d params vs %d blobs", len(params), len(blobs))
+	}
+	for i, p := range params {
+		if p.NumParams() != len(blobs[i].Data) {
+			return fmt.Errorf("core: param %s size %d vs blob %d", p.Name, p.NumParams(), len(blobs[i].Data))
+		}
+		copy(p.Value.Data, blobs[i].Data)
+	}
+	return nil
+}
+
+// EncodeBackbone packages a backbone's weights and masks.
+func EncodeBackbone(b *nn.Backbone, w float64, d int, cand pareto.Candidate) BackboneAssignment {
+	asg := BackboneAssignment{
+		W:           w,
+		D:           d,
+		ActiveDepth: b.ActiveDepth,
+		Cfg:         b.Cfg,
+		Params:      blobsFromParams(b.Params()),
+		Candidate:   cand,
+	}
+	for _, blk := range b.Blocks {
+		asg.HeadMasks = append(asg.HeadMasks, append([]bool(nil), blk.Attn.HeadMask...))
+		asg.NeuronMasks = append(asg.NeuronMasks, append([]bool(nil), blk.FFN.NeuronMask...))
+	}
+	return asg
+}
+
+// DecodeBackbone reconstructs a backbone from an assignment.
+func DecodeBackbone(asg BackboneAssignment) (*nn.Backbone, error) {
+	b, err := nn.NewBackbone(asg.Cfg, rand.New(rand.NewSource(0)))
+	if err != nil {
+		return nil, err
+	}
+	if err := loadParams(b.Params(), asg.Params); err != nil {
+		return nil, err
+	}
+	if len(asg.HeadMasks) != len(b.Blocks) || len(asg.NeuronMasks) != len(b.Blocks) {
+		return nil, fmt.Errorf("core: mask count %d/%d vs %d blocks", len(asg.HeadMasks), len(asg.NeuronMasks), len(b.Blocks))
+	}
+	for l, blk := range b.Blocks {
+		if len(asg.HeadMasks[l]) != len(blk.Attn.HeadMask) || len(asg.NeuronMasks[l]) != len(blk.FFN.NeuronMask) {
+			return nil, fmt.Errorf("core: block %d mask size mismatch", l)
+		}
+		copy(blk.Attn.HeadMask, asg.HeadMasks[l])
+		copy(blk.FFN.NeuronMask, asg.NeuronMasks[l])
+	}
+	if err := b.SetDepth(asg.ActiveDepth); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// EncodeHeader packages a header model's architecture, weights, and
+// pruning masks.
+func EncodeHeader(h *nas.HeaderModel) HeaderPackage {
+	return HeaderPackage{
+		HeaderCfg:    h.Cfg,
+		Arch:         h.Arch,
+		HeaderParams: blobsFromParams(h.Params()),
+		Masks:        h.ExportMasks(),
+	}
+}
+
+// DecodeHeader reconstructs a header over the given backbone.
+func DecodeHeader(pkg HeaderPackage, backbone *nn.Backbone) (*nas.HeaderModel, error) {
+	h, err := nas.NewHeaderModel(pkg.HeaderCfg, pkg.Arch, backbone, rand.New(rand.NewSource(0)))
+	if err != nil {
+		return nil, err
+	}
+	if err := loadParams(h.Params(), pkg.HeaderParams); err != nil {
+		return nil, err
+	}
+	if len(pkg.Masks.Hidden) > 0 {
+		if err := h.ImportMasks(pkg.Masks); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// DeviceCheckpoint is the saved final model of one device.
+type DeviceCheckpoint struct {
+	DeviceID int
+	Package  HeaderPackage
+}
+
+// SaveDeviceCheckpoint writes the device's customized model to
+// dir/device-N.ckpt.
+func SaveDeviceCheckpoint(dir string, id int, backbone *nn.Backbone, header *nas.HeaderModel, cand pareto.Candidate) error {
+	pkg := EncodeHeader(header)
+	pkg.Backbone = EncodeBackbone(backbone, cand.W, cand.D, cand)
+	cp := DeviceCheckpoint{DeviceID: id, Package: pkg}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(cp); err != nil {
+		return fmt.Errorf("core: encode checkpoint: %w", err)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("device-%d.ckpt", id))
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("core: write checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadDeviceCheckpoint restores a device's customized model from
+// dir/device-N.ckpt.
+func LoadDeviceCheckpoint(dir string, id int) (*nn.Backbone, *nas.HeaderModel, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, fmt.Sprintf("device-%d.ckpt", id)))
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: read checkpoint: %w", err)
+	}
+	var cp DeviceCheckpoint
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&cp); err != nil {
+		return nil, nil, fmt.Errorf("core: decode checkpoint: %w", err)
+	}
+	backbone, err := DecodeBackbone(cp.Package.Backbone)
+	if err != nil {
+		return nil, nil, err
+	}
+	header, err := DecodeHeader(cp.Package, backbone)
+	if err != nil {
+		return nil, nil, err
+	}
+	return backbone, header, nil
+}

@@ -1,0 +1,204 @@
+// Package core orchestrates ACME's bidirectional single-loop distributed
+// system: the cloud server (Phase 1 backbone customization), the edge
+// servers (Phase 2-1 header search and Phase 2-2 aggregation), and the
+// devices (local refinement and importance-set generation), all
+// communicating through internal/transport so that traffic volumes are
+// measured rather than assumed.
+package core
+
+import (
+	"fmt"
+
+	"acme/internal/cluster"
+	"acme/internal/data"
+	"acme/internal/nas"
+	"acme/internal/nn"
+	"acme/internal/pareto"
+	"acme/internal/prune"
+)
+
+// Config assembles every knob of a full ACME run.
+type Config struct {
+	// Model and data.
+	Backbone   nn.BackboneConfig
+	NumClasses int
+	Dataset    data.Spec
+
+	// Fleet.
+	Fleet            cluster.FleetSpec
+	EdgeServers      int // number of edge servers S (device clusters)
+	SamplesPerDevice int
+	ClassesPerDevice int
+	Level            data.ConfusionLevel
+	// DataGroups is the number of distinct class groups across devices
+	// (0 = every device draws its own group).
+	DataGroups int
+	// PublicSamples sizes the cloud's generalized public dataset D̃c.
+	PublicSamples int
+	// FeatureDim is the probe feature dimension used for Wasserstein
+	// similarity.
+	FeatureDim int
+	// StorageFractions maps each device position within a cluster to a
+	// storage budget expressed as a fraction of the reference model's
+	// parameter count (the micro-scale analogue of the paper's
+	// 200–400 MB ladder).
+	StorageFractions []float64
+	// SharedFraction is the share of each device's local data uploaded
+	// to its edge server as the shared dataset (§IV-A: 10–20%; the data
+	// volume study uses the lower bound).
+	SharedFraction float64
+
+	// Phase 1.
+	Widths         []float64
+	Depths         []int
+	Pareto         pareto.Config
+	Distill        prune.DistillConfig
+	PretrainEpochs int
+	CloudProbe     int // samples used to score candidate backbones
+
+	// Phase 2-1.
+	Search nas.SearchConfig
+
+	// Phase 2-2.
+	Phase2Rounds    int // T: maximum loop rounds
+	DiscardPerRound int // units pruned per loop round
+	// ConvergenceEpsilon ends the single loop early when the relative
+	// change between consecutive aggregated importance sets falls below
+	// it (§II-A: "repeated iteratively until convergence"). 0 keeps the
+	// fixed-T behaviour.
+	ConvergenceEpsilon float64
+	// TopKFraction sparsifies device importance uploads to the top
+	// fraction of entries by magnitude (0 or ≥1 sends dense sets). Low-
+	// importance entries only matter near the discard threshold, so
+	// moderate sparsification trades negligible fidelity for uplink
+	// bandwidth.
+	TopKFraction float64
+	LocalEpochs  int
+	LocalBatch   int
+	LocalLR      float64
+	ProbeSize    int // D̃ probe size for Wasserstein similarity
+	Aggregation  AggregationMethod
+	// DistanceScale multiplies raw distribution distances before the
+	// Eq. 19-20 similarity mapping (micro-scale features produce
+	// distances ≪ 1, which would wash out the row softmax).
+	DistanceScale float64
+
+	// CheckpointDir, when non-empty, makes every device save its final
+	// customized model (backbone + header) as device-N.ckpt in that
+	// directory, loadable with LoadDeviceCheckpoint.
+	CheckpointDir string
+
+	Seed int64
+}
+
+// AggregationMethod selects the Phase 2-2 weighting scheme.
+type AggregationMethod int
+
+// Aggregation methods (Fig. 11 comparison).
+const (
+	AggregateWasserstein AggregationMethod = iota + 1 // ACME
+	AggregateJS
+	AggregateAverage
+	AggregateAlone
+)
+
+// String implements fmt.Stringer.
+func (m AggregationMethod) String() string {
+	switch m {
+	case AggregateWasserstein:
+		return "wasserstein"
+	case AggregateJS:
+		return "js"
+	case AggregateAverage:
+		return "average"
+	case AggregateAlone:
+		return "alone"
+	default:
+		return fmt.Sprintf("AggregationMethod(%d)", int(m))
+	}
+}
+
+// DefaultConfig returns a micro-scale configuration that runs a full
+// pipeline in seconds: 2 edge clusters × 3 devices on the
+// cifar100-like synthetic dataset.
+func DefaultConfig() Config {
+	spec := data.CIFAR100Like()
+	search := nas.DefaultSearchConfig()
+	search.Epochs = 2
+	search.ChildBatches = 6
+	search.ControllerUpdates = 1
+	search.FinalCandidates = 4
+	return Config{
+		Backbone: nn.BackboneConfig{
+			InputDim:   spec.Dim,
+			NumPatches: 8,
+			DModel:     32,
+			NumHeads:   4,
+			Hidden:     64,
+			Depth:      4,
+		},
+		NumClasses:       spec.NumClasses,
+		Dataset:          spec,
+		Fleet:            cluster.FleetSpec{Clusters: 2, DevicesPerCluster: 3, Epochs: 3},
+		EdgeServers:      2,
+		SamplesPerDevice: 160,
+		ClassesPerDevice: 20,
+		Level:            data.C1,
+		DataGroups:       2,
+		PublicSamples:    400,
+		FeatureDim:       16,
+		StorageFractions: []float64{0.55, 0.75, 0.95},
+		SharedFraction:   0.06,
+		Widths:           []float64{0.25, 0.5, 0.75, 1.0},
+		Depths:           []int{1, 2, 3, 4},
+		Pareto:           pareto.DefaultConfig(),
+		Distill:          prune.DistillConfig{Lambda1: 1, Lambda2: 0.5, Epochs: 1, Batch: 16, LR: 1e-3},
+		PretrainEpochs:   4,
+		CloudProbe:       128,
+		Search:           search,
+		Phase2Rounds:     2,
+		DiscardPerRound:  4,
+		LocalEpochs:      2,
+		LocalBatch:       16,
+		LocalLR:          2e-3,
+		ProbeSize:        32,
+		Aggregation:      AggregateWasserstein,
+		DistanceScale:    8,
+		Seed:             1,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.Backbone.Validate(); err != nil {
+		return err
+	}
+	if err := c.Dataset.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.NumClasses <= 0:
+		return fmt.Errorf("core: non-positive class count")
+	case c.EdgeServers <= 0:
+		return fmt.Errorf("core: need at least one edge server")
+	case c.SamplesPerDevice <= 0:
+		return fmt.Errorf("core: non-positive samples per device")
+	case len(c.Widths) == 0 || len(c.Depths) == 0:
+		return fmt.Errorf("core: empty width/depth lattice")
+	case c.SharedFraction < 0 || c.SharedFraction > 1:
+		return fmt.Errorf("core: shared fraction %v outside [0,1]", c.SharedFraction)
+	case c.Phase2Rounds < 0:
+		return fmt.Errorf("core: negative phase-2 rounds")
+	}
+	for _, d := range c.Depths {
+		if d <= 0 || d > c.Backbone.Depth {
+			return fmt.Errorf("core: depth %d outside [1,%d]", d, c.Backbone.Depth)
+		}
+	}
+	for _, w := range c.Widths {
+		if w <= 0 || w > 1 {
+			return fmt.Errorf("core: width %v outside (0,1]", w)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"acme/internal/importance"
+	"acme/internal/transport"
+)
+
+func TestSparsifyDensifyRoundTrip(t *testing.T) {
+	layers := [][]float64{
+		{5, 1, 4, 0.5, 3},
+		{0.1, 0.9},
+	}
+	sparse := sparsifySet(layers, 0.4) // keep top 2 of 5, top 1 of 2
+	dense := densifySet(sparse)
+	// Top entries preserved.
+	if dense[0][0] != 5 || dense[0][2] != 4 {
+		t.Fatalf("top entries lost: %v", dense[0])
+	}
+	// Dropped entries are zero.
+	if dense[0][1] != 0 || dense[0][3] != 0 || dense[0][4] != 0 {
+		t.Fatalf("dropped entries nonzero: %v", dense[0])
+	}
+	if dense[1][1] != float64(float32(0.9)) || dense[1][0] != 0 {
+		t.Fatalf("layer 1 wrong: %v", dense[1])
+	}
+}
+
+func TestSparsifyKeepsAtLeastOne(t *testing.T) {
+	sparse := sparsifySet([][]float64{{1, 2, 3}}, 0.0001)
+	if len(sparse[0].Indices) != 1 {
+		t.Fatalf("kept %d entries", len(sparse[0].Indices))
+	}
+	if sparse[0].Indices[0] != 2 {
+		t.Fatalf("kept wrong entry %d", sparse[0].Indices[0])
+	}
+}
+
+func TestSetsDelta(t *testing.T) {
+	a := []*importance.Set{{Layers: [][]float64{{1, 2}}}}
+	b := []*importance.Set{{Layers: [][]float64{{1, 2}}}}
+	if d := setsDelta(a, b); d != 0 {
+		t.Fatalf("identical sets delta %v", d)
+	}
+	c := []*importance.Set{{Layers: [][]float64{{2, 4}}}}
+	if d := setsDelta(a, c); math.Abs(d-1) > 1e-9 {
+		t.Fatalf("doubled sets delta %v want 1", d)
+	}
+	zero := []*importance.Set{{Layers: [][]float64{{0, 0}}}}
+	if d := setsDelta(zero, a); !math.IsInf(d, 1) {
+		t.Fatalf("zero-denominator delta %v", d)
+	}
+}
+
+// TestTopKSparsificationReducesUplink verifies the bandwidth knob: the
+// pipeline completes with sparsified uploads, moves fewer importance
+// bytes, and loses almost nothing in final accuracy.
+func TestTopKSparsificationReducesUplink(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+
+	run := func(topk float64) *Result {
+		cfg := tinyConfig()
+		cfg.TopKFraction = topk
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	dense := run(0)
+	sparse := run(0.25)
+
+	dk := dense.Stats.BytesByKind()[transport.KindImportanceSet]
+	sk := sparse.Stats.BytesByKind()[transport.KindImportanceSet]
+	if sk >= dk {
+		t.Fatalf("sparsification did not reduce importance bytes: %d vs %d", sk, dk)
+	}
+	if sk > dk/2 {
+		t.Fatalf("top-25%% upload too large: %d vs dense %d", sk, dk)
+	}
+	if len(sparse.Reports) != len(dense.Reports) {
+		t.Fatal("sparse run lost reports")
+	}
+	// Accuracy must stay in the same ballpark (identical data/seeds; the
+	// only change is dropping near-zero importance entries).
+	if diff := math.Abs(sparse.MeanAccuracyFinal() - dense.MeanAccuracyFinal()); diff > 0.25 {
+		t.Fatalf("sparsification changed accuracy too much: %.3f vs %.3f",
+			sparse.MeanAccuracyFinal(), dense.MeanAccuracyFinal())
+	}
+}
+
+// TestConvergenceStopsLoopEarly runs with a huge epsilon so the loop
+// must stop right after the second round's delta check, even with a
+// large round budget.
+func TestConvergenceStopsLoopEarly(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+
+	cfg := tinyConfig()
+	cfg.Phase2Rounds = 6
+	cfg.ConvergenceEpsilon = 1e9 // converges at the first comparison
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round 0 has no previous set; the check fires after round 1, so
+	// exactly 2 importance uploads per device.
+	wantMsgs := int64(2 * len(res.Reports))
+	gotMsgs := res.Stats.MessagesByKind()[transport.KindImportanceSet]
+	if gotMsgs != wantMsgs {
+		t.Fatalf("importance messages %d, want %d (early convergence)", gotMsgs, wantMsgs)
+	}
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"acme/internal/transport"
+)
+
+// TestSystemTolerantOfDelaysAndReordering runs the full pipeline over a
+// transport that delays every message by a random amount, reordering
+// deliveries across senders. The protocol must still complete with the
+// same results as the reliable in-memory run.
+func TestSystemTolerantOfDelaysAndReordering(t *testing.T) {
+	cfg := tinyConfig()
+
+	// Reference run on the reliable transport.
+	ref, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	want, err := ref.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flaky run: same config, every delivery delayed up to 3ms.
+	mem := transport.NewMemory()
+	flaky := transport.NewFlaky(mem, 3*time.Millisecond, 42)
+	sys, err := NewSystemWithNetwork(cfg, flaky)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, role := range sys.RoleNames() {
+		mem.Register(role, 256)
+	}
+	got, err := sys.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky.Wait()
+
+	if len(got.Reports) != len(want.Reports) {
+		t.Fatalf("flaky run produced %d reports, reliable %d", len(got.Reports), len(want.Reports))
+	}
+	// Determinism must survive arbitrary delivery delays: the protocol
+	// orders aggregation inputs by device id, so accuracies match the
+	// reliable run exactly.
+	byID := func(reports []DeviceReport) map[int]DeviceReport {
+		m := make(map[int]DeviceReport, len(reports))
+		for _, r := range reports {
+			m[r.DeviceID] = r
+		}
+		return m
+	}
+	wantBy, gotBy := byID(want.Reports), byID(got.Reports)
+	for id, w := range wantBy {
+		g, ok := gotBy[id]
+		if !ok {
+			t.Fatalf("device %d missing from flaky run", id)
+		}
+		if g.AccuracyFinal != w.AccuracyFinal || g.AccuracyCoarse != w.AccuracyCoarse {
+			t.Fatalf("device %d diverged under delays: %+v vs %+v", id, g, w)
+		}
+	}
+}

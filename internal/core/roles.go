@@ -1,0 +1,502 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"acme/internal/aggregate"
+	"acme/internal/data"
+	"acme/internal/importance"
+	"acme/internal/nas"
+	"acme/internal/nn"
+	"acme/internal/pareto"
+	"acme/internal/prune"
+	"acme/internal/transport"
+)
+
+// runCloud is Phase 1: pretrain the reference model on the public
+// dataset, receive per-cluster statistics from the edges, build the
+// Pareto Front Grid per cluster, distill the selected backbone, and
+// distribute it (cloud-edge bidirectional interaction).
+func (s *System) runCloud(ctx context.Context) error {
+	rng := rand.New(rand.NewSource(s.Cfg.Seed + 1))
+
+	ref, err := s.trainReference(rng)
+	if err != nil {
+		return fmt.Errorf("reference model: %w", err)
+	}
+	gen := prune.NewGenerator(ref, s.public, s.Cfg.Distill)
+	if err := gen.EnsureImportance(256, rng); err != nil {
+		return fmt.Errorf("importance: %w", err)
+	}
+
+	// Receive statistical parameters from every edge server.
+	stats := make(map[int]ClusterStats, len(s.clusters))
+	for i := 0; i < len(s.clusters); i++ {
+		msg, err := transport.RecvKind(ctx, s.Net, "cloud", transport.KindStats)
+		if err != nil {
+			return err
+		}
+		var cs ClusterStats
+		if err := transport.Decode(msg.Payload, &cs); err != nil {
+			return err
+		}
+		stats[cs.EdgeID] = cs
+	}
+
+	// Deterministic processing order regardless of arrival order.
+	edgeIDs := make([]int, 0, len(stats))
+	for id := range stats {
+		edgeIDs = append(edgeIDs, id)
+	}
+	sort.Ints(edgeIDs)
+
+	for _, edgeID := range edgeIDs {
+		cs := stats[edgeID]
+		crng := rand.New(rand.NewSource(s.Cfg.Seed + 1000 + int64(edgeID)))
+		cands := s.sweepCandidates(ref, cs, crng)
+		grid, err := pareto.Build(cands, s.Cfg.Pareto)
+		if err != nil {
+			return fmt.Errorf("edge %d: pfg: %w", edgeID, err)
+		}
+		selected, err := grid.Select(cs.MinStorage)
+		if err != nil {
+			// No feasible candidate: fall back to the smallest one so
+			// the cluster still gets a model.
+			selected = smallestCandidate(cands)
+		}
+		student, err := gen.Generate(selected.W, selected.D, crng)
+		if err != nil {
+			return fmt.Errorf("edge %d: distill: %w", edgeID, err)
+		}
+		s.recordAssignment(edgeID, selected)
+		asg := EncodeBackbone(student.Backbone, selected.W, selected.D, selected)
+		if err := transport.SendValue(s.Net, transport.KindBackbone, "cloud", edgeName(edgeID), asg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// trainReference pretrains θ₀ on the public dataset.
+func (s *System) trainReference(rng *rand.Rand) (*nn.BackboneClassifier, error) {
+	bb, err := nn.NewBackbone(s.Cfg.Backbone, rng)
+	if err != nil {
+		return nil, err
+	}
+	ref := nn.NewBackboneClassifier(bb, s.Cfg.NumClasses, rng)
+	opt := nn.NewAdam(1e-3)
+	for e := 0; e < s.Cfg.PretrainEpochs; e++ {
+		if _, err := nn.TrainEpoch(ref, opt, s.public.X, s.public.Y, 16, rng); err != nil {
+			return nil, err
+		}
+	}
+	return ref, nil
+}
+
+// sweepCandidates scores the (w, d) lattice for one cluster: loss and
+// accuracy on a cloud probe with masked clones (distillation happens
+// only for the winner), energy from the cluster's worst-case profile,
+// size from the active parameter count.
+func (s *System) sweepCandidates(ref *nn.BackboneClassifier, cs ClusterStats, rng *rand.Rand) []pareto.Candidate {
+	probe := data.Probe(s.public, s.Cfg.CloudProbe, rng)
+	return pareto.SweepCandidates(s.Cfg.Widths, s.Cfg.Depths, func(w float64, d int) pareto.Candidate {
+		bb := ref.Backbone.Clone()
+		cand := pareto.Candidate{W: w, D: d}
+		if err := bb.ScaleWidth(w); err != nil {
+			cand.Loss = 1e9
+			return cand
+		}
+		if err := bb.SetDepth(d); err != nil {
+			cand.Loss = 1e9
+			return cand
+		}
+		clone := &nn.BackboneClassifier{Backbone: bb, Head: ref.Head}
+		loss, err := nn.MeanLoss(clone, probe.X, probe.Y)
+		if err != nil {
+			cand.Loss = 1e9
+			return cand
+		}
+		acc, _ := nn.Evaluate(clone, probe.X, probe.Y)
+		cand.Loss = loss
+		cand.Accuracy = acc
+		cand.Energy = cs.Profile.Energy(w, d)
+		cand.Size = float64(bb.ActiveParamCount() + nn.CountParams(ref.Head))
+		return cand
+	})
+}
+
+func smallestCandidate(cands []pareto.Candidate) pareto.Candidate {
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if c.Size < best.Size {
+			best = c
+		}
+	}
+	return best
+}
+
+// runEdge is one edge server: it aggregates device statistics upward,
+// receives its customized backbone, runs the Phase 2-1 header search on
+// its shared dataset, distributes backbone+header to its devices, and
+// then drives the Phase 2-2 single-loop aggregation (edge-device
+// bidirectional single-loop interaction).
+func (s *System) runEdge(ctx context.Context, edgeID int) error {
+	name := edgeName(edgeID)
+	members := s.clusters[edgeID]
+	rng := rand.New(rand.NewSource(s.Cfg.Seed + 2000 + int64(edgeID)))
+
+	// 1. Gather device stats and shared-data shards.
+	devStats := make(map[int]DeviceStats, len(members))
+	shards := make(map[int]RawShard, len(members))
+	for len(devStats) < len(members) || len(shards) < len(members) {
+		msg, err := s.Net.Recv(ctx, name)
+		if err != nil {
+			return err
+		}
+		switch msg.Kind {
+		case transport.KindStats:
+			var ds DeviceStats
+			if err := transport.Decode(msg.Payload, &ds); err != nil {
+				return err
+			}
+			devStats[ds.ID] = ds
+		case transport.KindProvision:
+			var sh RawShard
+			if err := transport.Decode(msg.Payload, &sh); err != nil {
+				return err
+			}
+			shards[sh.DeviceID] = sh
+		default:
+			return fmt.Errorf("unexpected %v from %s during setup", msg.Kind, msg.From)
+		}
+	}
+
+	// 2. Upload cluster statistics to the cloud.
+	cs := ClusterStats{EdgeID: edgeID, MinStorage: 1e18}
+	var worstE float64 = -1
+	for _, di := range members {
+		d := s.devices[di]
+		if d.Storage < cs.MinStorage {
+			cs.MinStorage = d.Storage
+		}
+		if e := d.Profile.Energy(1, 1); e > worstE {
+			worstE = e
+			cs.Profile = d.Profile
+		}
+		cs.DeviceIDs = append(cs.DeviceIDs, d.ID)
+	}
+	if err := transport.SendValue(s.Net, transport.KindStats, name, "cloud", cs); err != nil {
+		return err
+	}
+
+	// 3. Receive the customized backbone.
+	msg, err := transport.RecvKind(ctx, s.Net, name, transport.KindBackbone)
+	if err != nil {
+		return err
+	}
+	var asg BackboneAssignment
+	if err := transport.Decode(msg.Payload, &asg); err != nil {
+		return err
+	}
+	backbone, err := DecodeBackbone(asg)
+	if err != nil {
+		return err
+	}
+
+	// 4. Phase 2-1: header search on the shared dataset.
+	shared := s.mergeShards(shards)
+	train, val := shared.Split(0.8, rng)
+	searcher, err := nas.NewSearcher(s.Cfg.Search, backbone, s.Cfg.NumClasses, train, val, rng)
+	if err != nil {
+		return err
+	}
+	arch, _, err := searcher.Search()
+	if err != nil {
+		return fmt.Errorf("nas: %w", err)
+	}
+	header, err := searcher.BuildFinal(arch)
+	if err != nil {
+		return err
+	}
+
+	// 5. Distribute backbone + header to devices. The backbone may have
+	// been fine-tuned during search, so re-encode it.
+	asg2 := EncodeBackbone(backbone, asg.W, asg.D, asg.Candidate)
+	pkg := HeaderPackage{Backbone: asg2, HeaderCfg: header.Cfg, Arch: arch, HeaderParams: EncodeHeader(header).HeaderParams}
+	for _, di := range members {
+		if err := transport.SendValue(s.Net, transport.KindHeader, name, s.devices[di].Name(), pkg); err != nil {
+			return err
+		}
+	}
+
+	// 6. Phase 2-2 loop: similarity matrix once, then T aggregation
+	// rounds.
+	sim, err := s.similarityMatrix(members, shards, rng)
+	if err != nil {
+		return err
+	}
+	order := append([]int(nil), members...)
+	sort.Ints(order)
+	pos := make(map[int]int, len(order))
+	for i, di := range order {
+		pos[s.devices[di].ID] = i
+	}
+	var prev []*importance.Set
+	for t := 0; t < s.Cfg.Phase2Rounds; t++ {
+		sets := make([]*importance.Set, len(order))
+		for i := 0; i < len(order); i++ {
+			msg, err := transport.RecvKind(ctx, s.Net, name, transport.KindImportanceSet)
+			if err != nil {
+				return err
+			}
+			var up ImportanceUpload
+			if err := transport.Decode(msg.Payload, &up); err != nil {
+				return err
+			}
+			p, ok := pos[up.DeviceID]
+			if !ok {
+				return fmt.Errorf("importance set from unknown device %d", up.DeviceID)
+			}
+			if len(up.Sparse) > 0 {
+				sets[p] = &importance.Set{Layers: densifySet(up.Sparse)}
+			} else {
+				sets[p] = &importance.Set{Layers: dequantizeSet(up.Layers)}
+			}
+		}
+		combined, err := aggregate.Combine(sets, sim)
+		if err != nil {
+			return err
+		}
+		// The loop ends at the round budget or on convergence of the
+		// aggregated sets (§II-A: "repeated iteratively until
+		// convergence").
+		done := t+1 >= s.Cfg.Phase2Rounds
+		if !done && s.Cfg.ConvergenceEpsilon > 0 && prev != nil {
+			if setsDelta(prev, combined) < s.Cfg.ConvergenceEpsilon {
+				done = true
+			}
+		}
+		prev = combined
+		discard := s.Cfg.DiscardPerRound * (t + 1)
+		for i, di := range order {
+			ps := PersonalizedSet{Layers: quantizeSet(combined[i].Layers), Discard: discard, Done: done}
+			if err := transport.SendValue(s.Net, transport.KindPersonalizedSet, name, s.devices[di].Name(), ps); err != nil {
+				return err
+			}
+		}
+		if done {
+			break
+		}
+	}
+	return nil
+}
+
+// setsDelta measures the mean relative L2 change between consecutive
+// rounds' aggregated importance sets.
+func setsDelta(prev, cur []*importance.Set) float64 {
+	var total float64
+	var n int
+	for i := range cur {
+		var num, den float64
+		for l := range cur[i].Layers {
+			for j := range cur[i].Layers[l] {
+				d := cur[i].Layers[l][j] - prev[i].Layers[l][j]
+				num += d * d
+				den += prev[i].Layers[l][j] * prev[i].Layers[l][j]
+			}
+		}
+		if den > 0 {
+			total += math.Sqrt(num / den)
+			n++
+		}
+	}
+	if n == 0 {
+		return math.Inf(1)
+	}
+	return total / float64(n)
+}
+
+// mergeShards concatenates the uploaded device shards into the edge's
+// shared dataset.
+func (s *System) mergeShards(shards map[int]RawShard) *data.Dataset {
+	ids := make([]int, 0, len(shards))
+	for id := range shards {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	ds := &data.Dataset{Name: s.Cfg.Dataset.Name, NumClasses: s.Cfg.NumClasses, Dim: s.Cfg.Dataset.Dim}
+	for _, id := range ids {
+		sh := shards[id]
+		ds.X = append(ds.X, sh.X...)
+		ds.Y = append(ds.Y, sh.Y...)
+	}
+	return ds
+}
+
+// similarityMatrix builds the Phase 2-2 weight matrix for the cluster
+// according to the configured aggregation method, using the uploaded
+// probe shards.
+func (s *System) similarityMatrix(members []int, shards map[int]RawShard, rng *rand.Rand) ([][]float64, error) {
+	order := append([]int(nil), members...)
+	sort.Ints(order)
+	method := methodFor(s.Cfg.Aggregation)
+	n := len(order)
+	hists := make([][]float64, n)
+	feats := make([][][]float64, n)
+	featDim := s.Cfg.FeatureDim
+	if featDim <= 0 {
+		featDim = 16
+	}
+	fx := data.NewFeatureExtractor(s.Cfg.Dataset.Dim, featDim, s.Cfg.Seed+7)
+	for i, di := range order {
+		sh := shards[s.devices[di].ID]
+		hists[i] = sh.Histogram
+		probe := sh.X
+		if s.Cfg.ProbeSize > 0 && len(probe) > s.Cfg.ProbeSize {
+			probe = probe[:s.Cfg.ProbeSize]
+		}
+		fs := make([][]float64, len(probe))
+		for j, x := range probe {
+			fs[j] = fx.Extract(x)
+		}
+		feats[i] = fs
+	}
+	return aggregate.MatrixFor(method, n, hists, feats, rng, s.Cfg.DistanceScale)
+}
+
+func methodFor(m AggregationMethod) aggregate.Method {
+	switch m {
+	case AggregateJS:
+		return aggregate.JS
+	case AggregateAverage:
+		return aggregate.Average
+	case AggregateAlone:
+		return aggregate.Alone
+	default:
+		return aggregate.Wasserstein
+	}
+}
+
+// runDevice is one device: it uploads its statistics and shared shard,
+// receives its customized model, refines the header locally, and
+// participates in the Phase 2-2 importance loop.
+func (s *System) runDevice(ctx context.Context, edgeID, devIdx int) error {
+	dev := s.devices[devIdx]
+	name := dev.Name()
+	edge := edgeName(edgeID)
+	rng := rand.New(rand.NewSource(s.Cfg.Seed + 3000 + int64(dev.ID)))
+	local := s.devTrain[devIdx]
+	test := s.devTest[devIdx]
+
+	// 1. Upload attributes and the shared-data shard.
+	ds := DeviceStats{
+		ID: dev.ID, VCPUs: dev.VCPUs, GPU: dev.GPU,
+		Storage: dev.Storage, Profile: dev.Profile, NumSamples: local.Len(),
+	}
+	if err := transport.SendValue(s.Net, transport.KindStats, name, edge, ds); err != nil {
+		return err
+	}
+	nShared := int(s.Cfg.SharedFraction * float64(local.Len()))
+	if nShared < 4 {
+		nShared = 4
+	}
+	probe := data.Probe(local, nShared, rng)
+	shard := RawShard{DeviceID: dev.ID, X: probe.X, Y: probe.Y, Histogram: local.ClassHistogram()}
+	// The paper assumes the edge already stores this 10-20% shared slice
+	// (§IV-A); the simulation ships it at setup under the provisioning
+	// kind, which Table I accounting excludes.
+	if err := transport.SendValue(s.Net, transport.KindProvision, name, edge, shard); err != nil {
+		return err
+	}
+
+	// 2. Receive the customized model.
+	msg, err := transport.RecvKind(ctx, s.Net, name, transport.KindHeader)
+	if err != nil {
+		return err
+	}
+	var pkg HeaderPackage
+	if err := transport.Decode(msg.Payload, &pkg); err != nil {
+		return err
+	}
+	backbone, err := DecodeBackbone(pkg.Backbone)
+	if err != nil {
+		return err
+	}
+	pkg.HeaderCfg.TrainBackbone = false // Phase 2-2 freezes the backbone
+	header, err := DecodeHeader(pkg, backbone)
+	if err != nil {
+		return err
+	}
+
+	// 3. Local refinement of the coarse header.
+	if err := header.TrainLocal(local, s.Cfg.LocalEpochs, s.Cfg.LocalBatch, s.Cfg.LocalLR, rng); err != nil {
+		return err
+	}
+	accCoarse, err := nn.Evaluate(header, test.X, test.Y)
+	if err != nil {
+		return err
+	}
+
+	// 4. Single-loop refinement (Algorithm 2, device side). The edge
+	// signals the final round via PersonalizedSet.Done (round budget or
+	// convergence).
+	for t := 0; t < s.Cfg.Phase2Rounds; t++ {
+		set, err := nas.ComputeImportanceSet(header, local, s.Cfg.LocalBatch, 8, rng)
+		if err != nil {
+			return err
+		}
+		up := ImportanceUpload{DeviceID: dev.ID}
+		if frac := s.Cfg.TopKFraction; frac > 0 && frac < 1 {
+			up.Sparse = sparsifySet(set.Layers, frac)
+		} else {
+			up.Layers = quantizeSet(set.Layers)
+		}
+		if err := transport.SendValue(s.Net, transport.KindImportanceSet, name, edge, up); err != nil {
+			return err
+		}
+		msg, err := transport.RecvKind(ctx, s.Net, name, transport.KindPersonalizedSet)
+		if err != nil {
+			return err
+		}
+		var ps PersonalizedSet
+		if err := transport.Decode(msg.Payload, &ps); err != nil {
+			return err
+		}
+		if err := header.ApplyImportance(&importance.Set{Layers: dequantizeSet(ps.Layers)}, ps.Discard); err != nil {
+			return err
+		}
+		if err := header.TrainLocal(local, 1, s.Cfg.LocalBatch, s.Cfg.LocalLR, rng); err != nil {
+			return err
+		}
+		if ps.Done {
+			break
+		}
+	}
+	accFinal, err := nn.Evaluate(header, test.X, test.Y)
+	if err != nil {
+		return err
+	}
+
+	if s.Cfg.CheckpointDir != "" {
+		if err := SaveDeviceCheckpoint(s.Cfg.CheckpointDir, dev.ID, backbone, header, pkg.Backbone.Candidate); err != nil {
+			return err
+		}
+	}
+
+	report := DeviceReport{
+		DeviceID:       dev.ID,
+		EdgeID:         edgeID,
+		Width:          pkg.Backbone.W,
+		Depth:          pkg.Backbone.D,
+		AccuracyCoarse: accCoarse,
+		AccuracyFinal:  accFinal,
+		Energy:         dev.Profile.Energy(pkg.Backbone.W, pkg.Backbone.D),
+		BackboneParams: backbone.ActiveParamCount(),
+		HeaderParams:   header.ActiveParamCount(),
+	}
+	return transport.SendValue(s.Net, transport.KindControl, name, "collector", report)
+}

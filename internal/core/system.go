@@ -1,0 +1,377 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"acme/internal/cluster"
+	"acme/internal/data"
+	"acme/internal/nas"
+	"acme/internal/nn"
+	"acme/internal/pareto"
+	"acme/internal/transport"
+)
+
+// Result aggregates the outcome of one full ACME run.
+type Result struct {
+	Reports     []DeviceReport
+	Assignments map[int]pareto.Candidate // edge id → selected backbone
+	Stats       *transport.Stats
+
+	// UploadBytes is the measured uplink volume of ACME's protocol
+	// (device stats + shared-data shards + importance sets + edge
+	// statistics).
+	UploadBytes int64
+	// CentralizedUploadBytes is the simulated upload volume of a
+	// centralized system that ships every device's full local dataset to
+	// the cloud (the CS column of Table I).
+	CentralizedUploadBytes int64
+
+	// SearchSpaceOurs / SearchSpaceCS compare architecture search-space
+	// cardinalities: ACME searches only the header per edge server,
+	// while a centralized system must search the joint
+	// (width × depth × header) space per device.
+	SearchSpaceOurs float64
+	SearchSpaceCS   float64
+}
+
+// MeanAccuracyFinal returns the average post-refinement device accuracy.
+func (r *Result) MeanAccuracyFinal() float64 {
+	if len(r.Reports) == 0 {
+		return 0
+	}
+	var s float64
+	for _, rep := range r.Reports {
+		s += rep.AccuracyFinal
+	}
+	return s / float64(len(r.Reports))
+}
+
+// MeanAccuracyCoarse returns the average pre-refinement device accuracy.
+func (r *Result) MeanAccuracyCoarse() float64 {
+	if len(r.Reports) == 0 {
+		return 0
+	}
+	var s float64
+	for _, rep := range r.Reports {
+		s += rep.AccuracyCoarse
+	}
+	return s / float64(len(r.Reports))
+}
+
+// System wires the cloud, edge servers and devices over a network and
+// runs the full ACME pipeline. The network is in-memory by default;
+// NewSystemWithNetwork accepts any transport (cmd/acmenode uses TCP to
+// run each role as its own OS process).
+type System struct {
+	Cfg Config
+	Net transport.Network
+
+	devices  []cluster.Device
+	clusters [][]int // edge id → device indices
+	gen      *data.Generator
+	public   *data.Dataset
+	devTrain []*data.Dataset
+	devTest  []*data.Dataset
+
+	mu          sync.Mutex
+	assignments map[int]pareto.Candidate
+}
+
+// NewSystem validates cfg and materializes the fleet and datasets.
+func NewSystem(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("core: config: %w", err)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	gen, err := data.NewGenerator(cfg.Dataset)
+	if err != nil {
+		return nil, fmt.Errorf("core: dataset: %w", err)
+	}
+
+	fleet := cfg.Fleet
+	if fleet.Clusters <= 0 {
+		fleet.Clusters = cfg.EdgeServers
+	}
+	devices := cluster.GenerateFleet(fleet, rng)
+	// Storage budgets are fractions of the reference model's parameter
+	// count. Derived here — before any role goroutine starts — so every
+	// role (and every process in TCP mode) sees identical budgets.
+	if len(cfg.StorageFractions) > 0 {
+		refParams, err := referenceParamCount(cfg)
+		if err != nil {
+			return nil, err
+		}
+		for i := range devices {
+			frac := cfg.StorageFractions[i%len(cfg.StorageFractions)]
+			devices[i].Storage = frac * refParams
+		}
+	}
+	clusters, err := cluster.Partition(devices, cfg.EdgeServers, rng)
+	if err != nil {
+		return nil, fmt.Errorf("core: partition: %w", err)
+	}
+
+	publicN := cfg.PublicSamples
+	if publicN <= 0 {
+		publicN = 400
+	}
+	public := gen.Sample(publicN, nil, rand.New(rand.NewSource(cfg.Seed+101)))
+
+	shards, err := data.Partition(gen, data.PartitionSpec{
+		Devices:        len(devices),
+		SamplesPerDev:  cfg.SamplesPerDevice,
+		ClassesPerDev:  cfg.ClassesPerDevice,
+		Level:          cfg.Level,
+		DistinctGroups: cfg.DataGroups,
+	}, rand.New(rand.NewSource(cfg.Seed+202)))
+	if err != nil {
+		return nil, fmt.Errorf("core: shards: %w", err)
+	}
+	devTrain := make([]*data.Dataset, len(devices))
+	devTest := make([]*data.Dataset, len(devices))
+	for i, shard := range shards {
+		devTrain[i], devTest[i] = shard.Split(0.8, rand.New(rand.NewSource(cfg.Seed+303+int64(i))))
+	}
+
+	mem := transport.NewMemory()
+	s := &System{
+		Cfg:         cfg,
+		Net:         mem,
+		devices:     devices,
+		clusters:    clusters,
+		gen:         gen,
+		public:      public,
+		devTrain:    devTrain,
+		devTest:     devTest,
+		assignments: make(map[int]pareto.Candidate),
+	}
+	mem.Register("cloud", 64)
+	for e := range clusters {
+		mem.Register(edgeName(e), 256)
+	}
+	for _, d := range devices {
+		mem.Register(d.Name(), 64)
+	}
+	mem.Register("collector", 4*len(devices))
+	return s, nil
+}
+
+// NewSystemWithNetwork builds the system state over a caller-provided
+// network (e.g. transport.TCP). Every participating process must build
+// the system from an identical Config so that fleet, shards and seeds
+// agree, then call RunRole for its own role.
+func NewSystemWithNetwork(cfg Config, net transport.Network) (*System, error) {
+	s, err := NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.Net = net
+	return s, nil
+}
+
+// Devices exposes the generated fleet (read-only use).
+func (s *System) Devices() []cluster.Device { return s.devices }
+
+// Clusters exposes the edge partition (read-only use).
+func (s *System) Clusters() [][]int { return s.clusters }
+
+// PublicDataset exposes the cloud dataset (read-only use).
+func (s *System) PublicDataset() *data.Dataset { return s.public }
+
+// DeviceTrain returns device i's local training shard.
+func (s *System) DeviceTrain(i int) *data.Dataset { return s.devTrain[i] }
+
+// DeviceTest returns device i's local test shard.
+func (s *System) DeviceTest(i int) *data.Dataset { return s.devTest[i] }
+
+func edgeName(e int) string { return fmt.Sprintf("edge-%d", e) }
+
+// Run executes the full pipeline: Phase 1 on the cloud, Phase 2-1 on
+// the edges, and the Phase 2-2 single loop between edges and devices.
+// All roles run concurrently and communicate only via the network.
+func (s *System) Run(ctx context.Context) (*Result, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	errc := make(chan error, 1+len(s.clusters)+len(s.devices))
+	var wg sync.WaitGroup
+
+	launch := func(name string, fn func(context.Context) error) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := fn(ctx); err != nil {
+				select {
+				case errc <- fmt.Errorf("%s: %w", name, err):
+				default:
+				}
+				cancel()
+			}
+		}()
+	}
+
+	launch("cloud", s.runCloud)
+	for e := range s.clusters {
+		e := e
+		launch(edgeName(e), func(ctx context.Context) error { return s.runEdge(ctx, e) })
+	}
+	for e, members := range s.clusters {
+		for _, di := range members {
+			e, di := e, di
+			launch(s.devices[di].Name(), func(ctx context.Context) error { return s.runDevice(ctx, e, di) })
+		}
+	}
+
+	// Collect device reports.
+	reports := make([]DeviceReport, 0, len(s.devices))
+	var collectErr error
+	for i := 0; i < len(s.devices); i++ {
+		msg, err := transport.RecvKind(ctx, s.Net, "collector", transport.KindControl)
+		if err != nil {
+			collectErr = err
+			break
+		}
+		var rep DeviceReport
+		if err := transport.Decode(msg.Payload, &rep); err != nil {
+			collectErr = err
+			break
+		}
+		reports = append(reports, rep)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		return nil, err
+	}
+	if collectErr != nil {
+		return nil, fmt.Errorf("core: collect: %w", collectErr)
+	}
+
+	res := &Result{
+		Reports:     reports,
+		Assignments: s.assignmentsCopy(),
+		Stats:       s.networkStats(),
+	}
+	// Uplink kinds only: device/edge statistics, shared-data shards, and
+	// importance sets — what Table I's "Upload Data" column measures.
+	byKind := res.Stats.BytesByKind()
+	res.UploadBytes = byKind[transport.KindStats] +
+		byKind[transport.KindRawData] +
+		byKind[transport.KindImportanceSet]
+	res.CentralizedUploadBytes = s.centralizedBytes()
+	res.SearchSpaceOurs = float64(len(s.clusters)) * nas.SpaceSize(s.Cfg.Search.Blocks)
+	res.SearchSpaceCS = float64(len(s.devices)) * nas.SpaceSize(s.Cfg.Search.Blocks) *
+		float64(len(s.Cfg.Widths)*len(s.Cfg.Depths))
+	return res, nil
+}
+
+// networkStats returns the network's traffic counters when the
+// transport exposes them (the in-memory and TCP transports both do),
+// or empty counters otherwise.
+func (s *System) networkStats() *transport.Stats {
+	type statser interface{ Stats() *transport.Stats }
+	if st, ok := s.Net.(statser); ok {
+		return st.Stats()
+	}
+	return transport.NewStats()
+}
+
+// RunRole executes exactly one role of the pipeline over the system's
+// network: "cloud", "edge-N", "device-N", or "collector". Used when
+// each role runs in its own OS process (cmd/acmenode); every process
+// must construct the System from an identical Config. The collector
+// role receives one report per device and returns them via the Result.
+func (s *System) RunRole(ctx context.Context, role string) (*Result, error) {
+	if role == "cloud" {
+		return nil, s.runCloud(ctx)
+	}
+	if role == "collector" {
+		reports := make([]DeviceReport, 0, len(s.devices))
+		for i := 0; i < len(s.devices); i++ {
+			msg, err := transport.RecvKind(ctx, s.Net, "collector", transport.KindControl)
+			if err != nil {
+				return nil, err
+			}
+			var rep DeviceReport
+			if err := transport.Decode(msg.Payload, &rep); err != nil {
+				return nil, err
+			}
+			reports = append(reports, rep)
+		}
+		return &Result{Reports: reports, Stats: s.networkStats()}, nil
+	}
+	for e := range s.clusters {
+		if role == edgeName(e) {
+			return nil, s.runEdge(ctx, e)
+		}
+	}
+	for e, members := range s.clusters {
+		for _, di := range members {
+			if role == s.devices[di].Name() {
+				return nil, s.runDevice(ctx, e, di)
+			}
+		}
+	}
+	return nil, fmt.Errorf("core: unknown role %q", role)
+}
+
+// RoleNames lists every role of the configured system in launch order.
+func (s *System) RoleNames() []string {
+	names := []string{"cloud"}
+	for e := range s.clusters {
+		names = append(names, edgeName(e))
+	}
+	for _, d := range s.devices {
+		names = append(names, d.Name())
+	}
+	names = append(names, "collector")
+	return names
+}
+
+// centralizedBytes estimates the CS baseline's upload: every device
+// ships its full local training shard to the cloud.
+func (s *System) centralizedBytes() int64 {
+	var total int64
+	for i := range s.devTrain {
+		shard := RawShard{
+			DeviceID:  i,
+			X:         s.devTrain[i].X,
+			Y:         s.devTrain[i].Y,
+			Histogram: s.devTrain[i].ClassHistogram(),
+		}
+		if payload, err := transport.Encode(shard); err == nil {
+			total += int64(len(payload)) + 16
+		}
+	}
+	return total
+}
+
+func (s *System) recordAssignment(edgeID int, cand pareto.Candidate) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.assignments[edgeID] = cand
+}
+
+func (s *System) assignmentsCopy() map[int]pareto.Candidate {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[int]pareto.Candidate, len(s.assignments))
+	for k, v := range s.assignments {
+		out[k] = v
+	}
+	return out
+}
+
+// referenceParamCount computes the parameter count of the reference
+// model (backbone + linear head) without training it.
+func referenceParamCount(cfg Config) (float64, error) {
+	bb, err := nn.NewBackbone(cfg.Backbone, rand.New(rand.NewSource(0)))
+	if err != nil {
+		return 0, fmt.Errorf("core: reference shape: %w", err)
+	}
+	head := cfg.Backbone.DModel*cfg.NumClasses + cfg.NumClasses
+	return float64(bb.ActiveParamCount() + head), nil
+}

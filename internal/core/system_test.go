@@ -1,0 +1,92 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"acme/internal/data"
+)
+
+// tinyConfig returns a configuration small enough for fast CI runs.
+func tinyConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Backbone.InputDim = 64
+	cfg.Backbone.NumPatches = 4
+	cfg.Backbone.DModel = 16
+	cfg.Backbone.NumHeads = 2
+	cfg.Backbone.Hidden = 24
+	cfg.Backbone.Depth = 2
+	cfg.Dataset = data.CIFAR100Like()
+	cfg.Dataset.NumClasses = 20
+	cfg.Dataset.NumSuper = 4
+	cfg.NumClasses = 20
+	cfg.EdgeServers = 2
+	cfg.Fleet.Clusters = 2
+	cfg.Fleet.DevicesPerCluster = 2
+	cfg.SamplesPerDevice = 60
+	cfg.ClassesPerDevice = 6
+	cfg.PublicSamples = 120
+	cfg.PretrainEpochs = 1
+	cfg.CloudProbe = 40
+	cfg.Widths = []float64{0.5, 1.0}
+	cfg.Depths = []int{1, 2}
+	cfg.Distill.Epochs = 1
+	cfg.Search.Epochs = 1
+	cfg.Search.ChildBatches = 2
+	cfg.Search.ControllerSamples = 2
+	cfg.Search.ControllerUpdates = 1
+	cfg.Search.FinalCandidates = 2
+	cfg.Search.RewardProbe = 20
+	cfg.Search.Blocks = 2
+	cfg.Search.Hidden = 12
+	cfg.Phase2Rounds = 1
+	cfg.DiscardPerRound = 2
+	cfg.LocalEpochs = 1
+	cfg.ProbeSize = 8
+	return cfg
+}
+
+func TestSystemEndToEnd(t *testing.T) {
+	cfg := tinyConfig()
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	res, err := sys.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(res.Reports), 4; got != want {
+		t.Fatalf("got %d reports, want %d", got, want)
+	}
+	if len(res.Assignments) != 2 {
+		t.Fatalf("got %d assignments, want 2", len(res.Assignments))
+	}
+	for _, rep := range res.Reports {
+		if rep.Width <= 0 || rep.Width > 1 {
+			t.Errorf("device %d has width %v", rep.DeviceID, rep.Width)
+		}
+		if rep.Depth <= 0 || rep.Depth > cfg.Backbone.Depth {
+			t.Errorf("device %d has depth %d", rep.DeviceID, rep.Depth)
+		}
+		if rep.Energy <= 0 {
+			t.Errorf("device %d has non-positive energy", rep.DeviceID)
+		}
+		if rep.BackboneParams <= 0 || rep.HeaderParams <= 0 {
+			t.Errorf("device %d has empty model: %+v", rep.DeviceID, rep)
+		}
+	}
+	if res.UploadBytes <= 0 {
+		t.Fatal("no upload traffic recorded")
+	}
+	if res.CentralizedUploadBytes <= res.UploadBytes/2 {
+		t.Fatalf("centralized upload (%d) should far exceed ACME upload (%d)",
+			res.CentralizedUploadBytes, res.UploadBytes)
+	}
+	if res.SearchSpaceOurs >= res.SearchSpaceCS {
+		t.Fatalf("ACME search space (%g) should be below CS (%g)", res.SearchSpaceOurs, res.SearchSpaceCS)
+	}
+}

@@ -1,0 +1,63 @@
+package data
+
+import (
+	"math"
+	"math/rand"
+)
+
+// FeatureExtractor maps raw samples to a feature space. It stands in for
+// the "pre-trained model" the paper uses to embed the tiny probe shards
+// D̃ᵢ before computing Wasserstein distances (§III-D2): a fixed random
+// projection followed by tanh, which preserves distributional geometry
+// while being deterministic given its seed.
+type FeatureExtractor struct {
+	InDim, OutDim int
+	w             [][]float64
+}
+
+// NewFeatureExtractor builds a seeded projection inDim → outDim.
+func NewFeatureExtractor(inDim, outDim int, seed int64) *FeatureExtractor {
+	rng := rand.New(rand.NewSource(seed))
+	w := make([][]float64, outDim)
+	// 1/inDim (rather than 1/√inDim) keeps projections of unit-scale
+	// inputs inside tanh's linear region, preserving distances.
+	std := 1 / float64(inDim)
+	for i := range w {
+		w[i] = make([]float64, inDim)
+		for j := range w[i] {
+			w[i][j] = rng.NormFloat64() * std
+		}
+	}
+	return &FeatureExtractor{InDim: inDim, OutDim: outDim, w: w}
+}
+
+// Extract maps one sample to feature space.
+func (f *FeatureExtractor) Extract(x []float64) []float64 {
+	out := make([]float64, f.OutDim)
+	for i, row := range f.w {
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = math.Tanh(s)
+	}
+	return out
+}
+
+// ExtractAll maps every sample of ds to feature space.
+func (f *FeatureExtractor) ExtractAll(ds *Dataset) [][]float64 {
+	out := make([][]float64, ds.Len())
+	for i, x := range ds.X {
+		out[i] = f.Extract(x)
+	}
+	return out
+}
+
+// Probe returns a small random subsample of ds (the paper's D̃), at most
+// n samples.
+func Probe(ds *Dataset, n int, rng *rand.Rand) *Dataset {
+	if n >= ds.Len() {
+		return ds
+	}
+	return ds.Subset(rng.Perm(ds.Len())[:n])
+}

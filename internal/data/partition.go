@@ -1,0 +1,119 @@
+package data
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ConfusionLevel indexes the paper's non-IID difficulty ladder
+// (Fig. 11): IID, then C1–C3 with increasing class overlap between
+// devices and increasing label noise.
+type ConfusionLevel int
+
+// Confusion levels, in increasing difficulty.
+const (
+	IID ConfusionLevel = iota + 1
+	C1
+	C2
+	C3
+)
+
+// String implements fmt.Stringer.
+func (l ConfusionLevel) String() string {
+	switch l {
+	case IID:
+		return "IID"
+	case C1:
+		return "C1"
+	case C2:
+		return "C2"
+	case C3:
+		return "C3"
+	default:
+		return fmt.Sprintf("ConfusionLevel(%d)", int(l))
+	}
+}
+
+// PartitionSpec controls how device shards are drawn.
+type PartitionSpec struct {
+	Devices        int
+	SamplesPerDev  int
+	ClassesPerDev  int // classes visible to each device in non-IID modes
+	Level          ConfusionLevel
+	DistinctGroups int // number of distinct class groups across devices (0 = per-device draw)
+}
+
+// Partition draws one shard per device from gen according to spec.
+//
+// IID: every device samples all classes. C1–C3: each device (or device
+// group) sees a subset of classes; as the level rises, subsets are drawn
+// with more cross-device mixing and the generator's label noise is
+// raised, which is how the paper's "increased confusion" is realized.
+func Partition(gen *Generator, spec PartitionSpec, rng *rand.Rand) ([]*Dataset, error) {
+	if spec.Devices <= 0 || spec.SamplesPerDev <= 0 {
+		return nil, fmt.Errorf("data: bad partition spec %+v", spec)
+	}
+	numClasses := gen.Spec.NumClasses
+	classesPer := spec.ClassesPerDev
+	if classesPer <= 0 || classesPer > numClasses {
+		classesPer = numClasses
+	}
+
+	noise, mix := levelKnobs(spec.Level)
+	noisyGen := *gen
+	noisySpec := gen.Spec
+	noisySpec.LabelNoise = noise
+	noisyGen.Spec = noisySpec
+
+	groupClassSets := buildGroups(spec, numClasses, classesPer, mix, rng)
+
+	shards := make([]*Dataset, spec.Devices)
+	for dev := range shards {
+		classes := groupClassSets[dev%len(groupClassSets)]
+		if spec.Level == IID {
+			classes = nil // all classes
+		}
+		shards[dev] = noisyGen.Sample(spec.SamplesPerDev, classes, rng)
+	}
+	return shards, nil
+}
+
+// levelKnobs maps a confusion level to (label noise, class-mixing
+// fraction).
+func levelKnobs(l ConfusionLevel) (noise, mix float64) {
+	switch l {
+	case C1:
+		return 0.02, 0.1
+	case C2:
+		return 0.06, 0.3
+	case C3:
+		return 0.12, 0.5
+	default: // IID
+		return 0, 0
+	}
+}
+
+func buildGroups(spec PartitionSpec, numClasses, classesPer int, mix float64, rng *rand.Rand) [][]int {
+	groups := spec.DistinctGroups
+	if groups <= 0 {
+		groups = spec.Devices
+	}
+	base := rng.Perm(numClasses)
+	sets := make([][]int, groups)
+	for g := range sets {
+		// contiguous slice of the permutation → disjoint-ish groups
+		start := (g * classesPer) % numClasses
+		set := make([]int, 0, classesPer)
+		for i := 0; i < classesPer; i++ {
+			set = append(set, base[(start+i)%numClasses])
+		}
+		// mix in random classes from anywhere to raise confusion
+		for i := range set {
+			if rng.Float64() < mix {
+				set[i] = rng.Intn(numClasses)
+			}
+		}
+		sets[g] = set
+	}
+	return sets
+}

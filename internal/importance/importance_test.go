@@ -1,0 +1,163 @@
+package importance
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"acme/internal/data"
+	"acme/internal/nn"
+)
+
+func testClassifier(t *testing.T, rng *rand.Rand) *nn.BackboneClassifier {
+	t.Helper()
+	bb, err := nn.NewBackbone(nn.BackboneConfig{
+		InputDim: 16, NumPatches: 4, DModel: 8, NumHeads: 2, Hidden: 12, Depth: 2,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nn.NewBackboneClassifier(bb, 5, rng)
+}
+
+func testDataset(rng *rand.Rand) *data.Dataset {
+	spec := data.Spec{
+		Name: "t", NumClasses: 5, NumSuper: 1, Dim: 16,
+		SuperSep: 2, ClassSep: 1, WithinStd: 0.5,
+	}
+	gen, _ := data.NewGenerator(spec)
+	return gen.Sample(40, nil, rng)
+}
+
+func TestAccumulateBackboneFillsImportances(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := testClassifier(t, rng)
+	ds := testDataset(rng)
+	if err := AccumulateBackbone(c, ds, 20, rng); err != nil {
+		t.Fatal(err)
+	}
+	var nonZero int
+	for _, blk := range c.Backbone.Blocks {
+		for _, v := range blk.Attn.HeadImportance {
+			if v > 0 {
+				nonZero++
+			}
+		}
+		for _, v := range blk.FFN.NeuronImportance {
+			if v > 0 {
+				nonZero++
+			}
+		}
+	}
+	if nonZero == 0 {
+		t.Fatal("no importances accumulated")
+	}
+	// Gradients must be cleared afterwards.
+	for _, p := range c.Params() {
+		for _, g := range p.Grad.Data {
+			if g != 0 {
+				t.Fatal("gradients not cleared")
+			}
+		}
+	}
+	// Recording must be switched off again.
+	if c.Backbone.Blocks[0].Attn.RecordImportance {
+		t.Fatal("importance recording left enabled")
+	}
+}
+
+func TestSetShapeAndAccumulate(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	l := nn.NewLinear("l", 3, 2, rng)
+	set := NewSet(l)
+	if set.Total() != 3*2+2 {
+		t.Fatalf("set total %d", set.Total())
+	}
+	// Put a known gradient in and verify (g·v)².
+	l.W.Value.Fill(2)
+	l.W.Grad.Fill(3)
+	l.B.Value.Fill(1)
+	l.B.Grad.Fill(0)
+	if err := set.Accumulate(l); err != nil {
+		t.Fatal(err)
+	}
+	if got := set.Layers[0][0]; math.Abs(got-36) > 1e-12 { // (3·2)²
+		t.Fatalf("Q = %v want 36", got)
+	}
+	if got := set.Layers[1][0]; got != 0 {
+		t.Fatalf("zero-grad Q = %v", got)
+	}
+}
+
+func TestSetAddScaledAndClone(t *testing.T) {
+	a := &Set{Layers: [][]float64{{1, 2}}}
+	b := &Set{Layers: [][]float64{{10, 20}}}
+	c := a.Clone()
+	if err := c.AddScaled(0.5, b); err != nil {
+		t.Fatal(err)
+	}
+	if c.Layers[0][0] != 6 || c.Layers[0][1] != 12 {
+		t.Fatalf("addscaled got %v", c.Layers[0])
+	}
+	if a.Layers[0][0] != 1 {
+		t.Fatal("clone aliased the original")
+	}
+	bad := &Set{Layers: [][]float64{{1}}}
+	if err := c.AddScaled(1, bad); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestSetScale(t *testing.T) {
+	s := &Set{Layers: [][]float64{{2, 4}, {6}}}
+	s.Scale(0.5)
+	if s.Layers[0][0] != 1 || s.Layers[1][0] != 3 {
+		t.Fatalf("scale got %v", s.Layers)
+	}
+}
+
+// TestImportanceIdentifiesCriticalHead builds a contrived attention
+// layer where one head carries the entire signal and checks that
+// head's importance dominates.
+func TestImportanceIdentifiesCriticalHead(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := testClassifier(t, rng)
+	ds := testDataset(rng)
+
+	// Train briefly so gradients correlate with the task.
+	opt := nn.NewAdam(1e-3)
+	for e := 0; e < 3; e++ {
+		if _, err := nn.TrainEpoch(c, opt, ds.X, ds.Y, 8, rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := AccumulateBackbone(c, ds, 40, rng); err != nil {
+		t.Fatal(err)
+	}
+	// Width-scale to half and verify masks keep the higher-importance
+	// head in each block.
+	for _, blk := range c.Backbone.Blocks {
+		imp := blk.Attn.HeadImportance
+		best := 0
+		if imp[1] > imp[0] {
+			best = 1
+		}
+		_ = best
+	}
+	if err := c.Backbone.ScaleWidth(0.5); err != nil {
+		t.Fatal(err)
+	}
+	for l, blk := range c.Backbone.Blocks {
+		if blk.Attn.ActiveHeads() != 1 {
+			t.Fatalf("block %d kept %d heads, want 1", l, blk.Attn.ActiveHeads())
+		}
+		imp := blk.Attn.HeadImportance
+		kept := 0
+		if blk.Attn.HeadMask[1] {
+			kept = 1
+		}
+		if imp[kept] < imp[1-kept] {
+			t.Fatalf("block %d kept the less important head", l)
+		}
+	}
+}

@@ -1,0 +1,270 @@
+// Package multiexit extends ACME with multi-exit inference: lightweight
+// classification heads attached at several backbone depths, with
+// confidence-thresholded early exit. The paper's related work (§V,
+// LGViT and Bakhtiarnia et al.) motivates exactly this technique for
+// deploying large models on devices; this package composes it with the
+// repo's backbone and header machinery.
+//
+// Training optimizes the summed cross-entropy of all exits jointly
+// (the standard multi-exit recipe); inference runs blocks incrementally
+// and stops at the first exit whose softmax confidence clears the
+// threshold, trading accuracy for executed depth.
+package multiexit
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"acme/internal/data"
+	"acme/internal/nn"
+	"acme/internal/tensor"
+)
+
+// ExitHead is a lightweight head at one backbone depth: LayerNorm →
+// token mean-pool → linear classifier (after the single-layer ViT exit
+// heads of Bakhtiarnia et al.).
+type ExitHead struct {
+	Depth int // exits after block Depth (1-based; Depth blocks executed)
+	ln    *nn.LayerNorm
+	fc    *nn.Linear
+
+	seqLen int
+}
+
+// Params implements nn.Module.
+func (e *ExitHead) Params() []*nn.Param {
+	return append(e.ln.Params(), e.fc.Params()...)
+}
+
+// forward computes logits from the token matrix at this exit's depth.
+func (e *ExitHead) forward(tokens *tensor.Matrix) []float64 {
+	e.seqLen = tokens.Rows
+	normed := e.ln.Forward(tokens)
+	pooled := tensor.FromSlice(1, tokens.Cols, normed.MeanRows())
+	return e.fc.Forward(pooled).Row(0)
+}
+
+// backward returns the gradient at this exit's token matrix.
+func (e *ExitHead) backward(dlogits []float64) *tensor.Matrix {
+	dl := tensor.FromSlice(1, len(dlogits), dlogits)
+	dpool := e.fc.Backward(dl)
+	d := dpool.Cols
+	dnormed := tensor.New(e.seqLen, d)
+	inv := 1 / float64(e.seqLen)
+	for t := 0; t < e.seqLen; t++ {
+		row := dnormed.Row(t)
+		for j := 0; j < d; j++ {
+			row[j] = dpool.Data[j] * inv
+		}
+	}
+	return e.ln.Backward(dnormed)
+}
+
+// Model is a backbone with exit heads at ascending depths.
+type Model struct {
+	Backbone *nn.Backbone
+	Exits    []*ExitHead
+	// Threshold is the softmax confidence required to exit early; the
+	// final exit always fires.
+	Threshold float64
+}
+
+// New builds exit heads at the given depths (each in
+// [1, backbone.ActiveDepth]; the last active depth is appended
+// automatically if missing).
+func New(backbone *nn.Backbone, depths []int, numClasses int, rng *rand.Rand) (*Model, error) {
+	ds := append([]int(nil), depths...)
+	sort.Ints(ds)
+	if len(ds) == 0 || ds[len(ds)-1] != backbone.ActiveDepth {
+		ds = append(ds, backbone.ActiveDepth)
+	}
+	m := &Model{Backbone: backbone, Threshold: 0.9}
+	seen := map[int]bool{}
+	for _, d := range ds {
+		if d < 1 || d > backbone.ActiveDepth {
+			return nil, fmt.Errorf("multiexit: depth %d outside [1,%d]", d, backbone.ActiveDepth)
+		}
+		if seen[d] {
+			continue
+		}
+		seen[d] = true
+		name := fmt.Sprintf("exit%d", d)
+		m.Exits = append(m.Exits, &ExitHead{
+			Depth: d,
+			ln:    nn.NewLayerNorm(name+".ln", backbone.Cfg.DModel, rng),
+			fc:    nn.NewLinear(name+".fc", backbone.Cfg.DModel, numClasses, rng),
+		})
+	}
+	return m, nil
+}
+
+// Params returns all exit-head parameters (the backbone's are managed
+// separately).
+func (m *Model) Params() []*nn.Param {
+	var ps []*nn.Param
+	for _, e := range m.Exits {
+		ps = append(ps, e.Params()...)
+	}
+	return ps
+}
+
+// InferenceResult describes one early-exit prediction.
+type InferenceResult struct {
+	Class      int
+	ExitIndex  int     // which head fired
+	Depth      int     // blocks executed
+	Confidence float64 // softmax confidence at the firing exit
+}
+
+// Infer runs blocks incrementally and exits at the first head whose
+// confidence clears the threshold.
+func (m *Model) Infer(x []float64) (InferenceResult, error) {
+	tokens, err := m.Backbone.Tokenize(x)
+	if err != nil {
+		return InferenceResult{}, err
+	}
+	next := 0
+	for depth := 1; depth <= m.Backbone.ActiveDepth; depth++ {
+		tokens = m.Backbone.Blocks[depth-1].Forward(tokens)
+		for next < len(m.Exits) && m.Exits[next].Depth == depth {
+			logits := m.Exits[next].forward(tokens)
+			class, conf := argmaxConfidence(logits)
+			last := next == len(m.Exits)-1
+			if conf >= m.Threshold || last {
+				return InferenceResult{Class: class, ExitIndex: next, Depth: depth, Confidence: conf}, nil
+			}
+			next++
+		}
+	}
+	return InferenceResult{}, fmt.Errorf("multiexit: no exit fired (corrupt exit table)")
+}
+
+// TrainEpoch jointly trains all exits (and the backbone) with summed
+// cross-entropy, returning the mean loss per sample.
+func (m *Model) TrainEpoch(ds *data.Dataset, opt nn.Optimizer, batch int, trainBackbone bool, rng *rand.Rand) (float64, error) {
+	if batch <= 0 {
+		batch = 16
+	}
+	order := rng.Perm(ds.Len())
+	var total float64
+	for start := 0; start < len(order); start += batch {
+		end := start + batch
+		if end > len(order) {
+			end = len(order)
+		}
+		nn.ZeroGrads(m)
+		nn.ZeroGrads(m.Backbone)
+		for _, i := range order[start:end] {
+			loss, err := m.trainSample(ds.X[i], ds.Y[i], float64(end-start), trainBackbone)
+			if err != nil {
+				return 0, err
+			}
+			total += loss
+		}
+		params := m.Params()
+		if trainBackbone {
+			params = append(params, m.Backbone.Params()...)
+		}
+		opt.Step(params)
+	}
+	if ds.Len() == 0 {
+		return 0, nil
+	}
+	return total / float64(ds.Len()), nil
+}
+
+// trainSample accumulates the summed-exit gradient for one sample.
+func (m *Model) trainSample(x []float64, label int, batchSize float64, trainBackbone bool) (float64, error) {
+	if _, err := m.Backbone.Forward(x); err != nil {
+		return 0, err
+	}
+	hidden := m.Backbone.HiddenStates() // hidden[d-1] = tokens after block d
+	injections := make(map[int]*tensor.Matrix, len(m.Exits))
+	var total float64
+	for _, e := range m.Exits {
+		logits := e.forward(hidden[e.Depth-1])
+		loss, dl := nn.CrossEntropy(logits, label)
+		total += loss
+		for j := range dl {
+			dl[j] /= batchSize
+		}
+		dTokens := e.backward(dl)
+		if prev, ok := injections[e.Depth]; ok {
+			tensor.AddInPlace(prev, dTokens)
+		} else {
+			injections[e.Depth] = dTokens
+		}
+	}
+	if trainBackbone {
+		m.Backbone.Backward(nil, injections)
+	}
+	return total, nil
+}
+
+// Evaluate measures top-1 accuracy and the mean executed depth at the
+// current threshold.
+func (m *Model) Evaluate(ds *data.Dataset) (accuracy, meanDepth float64, err error) {
+	if ds.Len() == 0 {
+		return 0, 0, nil
+	}
+	var correct int
+	var depthSum int
+	for i := range ds.X {
+		res, err := m.Infer(ds.X[i])
+		if err != nil {
+			return 0, 0, err
+		}
+		if res.Class == ds.Y[i] {
+			correct++
+		}
+		depthSum += res.Depth
+	}
+	n := float64(ds.Len())
+	return float64(correct) / n, float64(depthSum) / n, nil
+}
+
+// TradeoffPoint is one (threshold, accuracy, depth) sample of the
+// early-exit accuracy/latency curve.
+type TradeoffPoint struct {
+	Threshold float64
+	Accuracy  float64
+	MeanDepth float64
+}
+
+// TradeoffCurve sweeps thresholds and reports the accuracy vs executed
+// depth frontier.
+func (m *Model) TradeoffCurve(ds *data.Dataset, thresholds []float64) ([]TradeoffPoint, error) {
+	saved := m.Threshold
+	defer func() { m.Threshold = saved }()
+	out := make([]TradeoffPoint, 0, len(thresholds))
+	for _, th := range thresholds {
+		m.Threshold = th
+		acc, depth, err := m.Evaluate(ds)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, TradeoffPoint{Threshold: th, Accuracy: acc, MeanDepth: depth})
+	}
+	return out, nil
+}
+
+func argmaxConfidence(logits []float64) (int, float64) {
+	maxv := math.Inf(-1)
+	for _, v := range logits {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum, best float64
+	bi := 0
+	for i, v := range logits {
+		e := math.Exp(v - maxv)
+		sum += e
+		if e > best {
+			best, bi = e, i
+		}
+	}
+	return bi, best / sum
+}

@@ -1,0 +1,154 @@
+package multiexit
+
+import (
+	"math/rand"
+	"testing"
+
+	"acme/internal/data"
+	"acme/internal/nn"
+)
+
+func setup(t *testing.T, seed int64) (*Model, *data.Dataset, *rand.Rand) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	spec := data.Spec{
+		Name: "me", NumClasses: 6, NumSuper: 2, Dim: 16,
+		SuperSep: 3, ClassSep: 1, WithinStd: 0.5,
+	}
+	gen, err := data.NewGenerator(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := gen.Sample(120, nil, rng)
+	bb, err := nn.NewBackbone(nn.BackboneConfig{
+		InputDim: 16, NumPatches: 4, DModel: 8, NumHeads: 2, Hidden: 12, Depth: 3,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(bb, []int{1, 2}, 6, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, ds, rng
+}
+
+func TestNewAppendsFinalExit(t *testing.T) {
+	m, _, _ := setup(t, 1)
+	if len(m.Exits) != 3 {
+		t.Fatalf("got %d exits", len(m.Exits))
+	}
+	if m.Exits[2].Depth != 3 {
+		t.Fatalf("final exit at depth %d", m.Exits[2].Depth)
+	}
+}
+
+func TestNewRejectsBadDepth(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	bb, err := nn.NewBackbone(nn.BackboneConfig{
+		InputDim: 16, NumPatches: 4, DModel: 8, NumHeads: 2, Hidden: 12, Depth: 2,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(bb, []int{5}, 4, rng); err == nil {
+		t.Fatal("depth beyond backbone accepted")
+	}
+}
+
+func TestInferAlwaysExits(t *testing.T) {
+	m, ds, _ := setup(t, 3)
+	m.Threshold = 0.999999 // force the final exit
+	res, err := m.Infer(ds.X[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Depth != 3 || res.ExitIndex != 2 {
+		t.Fatalf("expected final exit, got %+v", res)
+	}
+	m.Threshold = 0 // first exit always fires
+	res, err = m.Infer(ds.X[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Depth != 1 || res.ExitIndex != 0 {
+		t.Fatalf("expected first exit, got %+v", res)
+	}
+}
+
+func TestTrainingImprovesAllExits(t *testing.T) {
+	m, ds, rng := setup(t, 4)
+	m.Threshold = 2 // never early-exit during evaluation: final head only
+	accBefore, _, err := m.Evaluate(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := nn.NewAdam(3e-3)
+	for e := 0; e < 5; e++ {
+		if _, err := m.TrainEpoch(ds, opt, 16, true, rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	accAfter, _, err := m.Evaluate(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accAfter <= accBefore {
+		t.Fatalf("joint training did not improve: %.3f → %.3f", accBefore, accAfter)
+	}
+	// Early exits must also have learned something: with threshold 0 the
+	// first head fires and should beat chance (1/6).
+	m.Threshold = 0
+	accFirst, depth, err := m.Evaluate(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if depth != 1 {
+		t.Fatalf("threshold 0 should always use depth 1, got %.2f", depth)
+	}
+	if accFirst < 0.3 {
+		t.Fatalf("first exit stuck at chance: %.3f", accFirst)
+	}
+}
+
+func TestTradeoffCurveMonotoneDepth(t *testing.T) {
+	m, ds, rng := setup(t, 5)
+	opt := nn.NewAdam(3e-3)
+	for e := 0; e < 3; e++ {
+		if _, err := m.TrainEpoch(ds, opt, 16, true, rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	points, err := m.TradeoffCurve(ds, []float64{0, 0.5, 0.9, 1.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].MeanDepth < points[i-1].MeanDepth-1e-9 {
+			t.Fatalf("mean depth not monotone in threshold: %+v", points)
+		}
+	}
+	if points[0].MeanDepth != 1 {
+		t.Fatalf("threshold 0 mean depth %v", points[0].MeanDepth)
+	}
+	if points[len(points)-1].MeanDepth != 3 {
+		t.Fatalf("threshold >1 mean depth %v", points[len(points)-1].MeanDepth)
+	}
+}
+
+func TestFrozenBackboneUnchanged(t *testing.T) {
+	m, ds, rng := setup(t, 6)
+	snapshot := nn.Snapshot(m.Backbone)
+	opt := nn.NewAdam(3e-3)
+	if _, err := m.TrainEpoch(ds, opt, 16, false, rng); err != nil {
+		t.Fatal(err)
+	}
+	after := nn.Snapshot(m.Backbone)
+	for i := range snapshot.Values {
+		for j := range snapshot.Values[i] {
+			if snapshot.Values[i][j] != after.Values[i][j] {
+				t.Fatal("frozen backbone was modified")
+			}
+		}
+	}
+}

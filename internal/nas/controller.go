@@ -1,0 +1,430 @@
+package nas
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"acme/internal/nn"
+)
+
+// Controller is the edge server's LSTM policy over header architectures
+// (§III-C2): it emits a sequence of 4B decisions — Î₁, Î₂, Ô₁, Ô₂ per
+// block — each conditioned on the running hidden state, and is trained
+// with REINFORCE against a moving-average baseline (Eq. 15).
+type Controller struct {
+	Blocks    int
+	HiddenDim int
+	EmbedDim  int
+	maxIn     int
+	ops       []OpKind
+
+	wx, wh, bias *nn.Param // LSTM cell: embed→4h, h→4h, 1×4h
+	startEmb     *nn.Param // 1×embed
+	inEmb        *nn.Param // maxIn × embed
+	opEmb        *nn.Param // NumOpKinds × embed
+	inHeadW      *nn.Param // hidden × maxIn
+	inHeadB      *nn.Param
+	opHeadW      *nn.Param // hidden × NumOpKinds
+	opHeadB      *nn.Param
+
+	Baseline      float64
+	BaselineDecay float64
+	baselineInit  bool
+	// EntropyWeight adds an entropy bonus to the REINFORCE objective,
+	// preventing premature policy collapse (as in ENAS).
+	EntropyWeight float64
+
+	opt *nn.Adam
+	rng *rand.Rand
+}
+
+// NewController builds a controller over the default operation set.
+// hiddenDim follows the paper's single-layer LSTM with 100 hidden units
+// when set to 0.
+func NewController(blocks, hiddenDim int, lr float64, rng *rand.Rand) *Controller {
+	return NewControllerWithOps(blocks, hiddenDim, lr, DefaultOpSet(), rng)
+}
+
+// NewControllerWithOps builds a controller whose op decisions range
+// over the given operation set (the paper's "various NAS search
+// spaces").
+func NewControllerWithOps(blocks, hiddenDim int, lr float64, ops []OpKind, rng *rand.Rand) *Controller {
+	if hiddenDim <= 0 {
+		hiddenDim = 100
+	}
+	if len(ops) == 0 {
+		ops = DefaultOpSet()
+	}
+	numOps := len(ops)
+	embed := 32
+	maxIn := InputSetSize(blocks - 1)
+	c := &Controller{
+		Blocks:        blocks,
+		HiddenDim:     hiddenDim,
+		EmbedDim:      embed,
+		maxIn:         maxIn,
+		ops:           append([]OpKind(nil), ops...),
+		wx:            nn.NewParam("ctrl.wx", embed, 4*hiddenDim),
+		wh:            nn.NewParam("ctrl.wh", hiddenDim, 4*hiddenDim),
+		bias:          nn.NewParam("ctrl.b", 1, 4*hiddenDim),
+		startEmb:      nn.NewParam("ctrl.start", 1, embed),
+		inEmb:         nn.NewParam("ctrl.inemb", maxIn, embed),
+		opEmb:         nn.NewParam("ctrl.opemb", numOps, embed),
+		inHeadW:       nn.NewParam("ctrl.inhead.w", hiddenDim, maxIn),
+		inHeadB:       nn.NewParam("ctrl.inhead.b", 1, maxIn),
+		opHeadW:       nn.NewParam("ctrl.ophead.w", hiddenDim, numOps),
+		opHeadB:       nn.NewParam("ctrl.ophead.b", 1, numOps),
+		BaselineDecay: 0.7,
+		EntropyWeight: 0.05,
+		opt:           nn.NewAdam(lr),
+		rng:           rng,
+	}
+	c.wx.InitXavier(rng, embed, 4*hiddenDim)
+	c.wh.InitXavier(rng, hiddenDim, 4*hiddenDim)
+	c.startEmb.Value.Randomize(rng, 0.1)
+	c.inEmb.Value.Randomize(rng, 0.1)
+	c.opEmb.Value.Randomize(rng, 0.1)
+	c.inHeadW.InitXavier(rng, hiddenDim, maxIn)
+	c.opHeadW.InitXavier(rng, hiddenDim, numOps)
+	return c
+}
+
+// Params returns the controller parameters θᴸˢᵀᴹ.
+func (c *Controller) Params() []*nn.Param {
+	return []*nn.Param{
+		c.wx, c.wh, c.bias, c.startEmb, c.inEmb, c.opEmb,
+		c.inHeadW, c.inHeadB, c.opHeadW, c.opHeadB,
+	}
+}
+
+// ctrlStep caches one decision step for BPTT.
+type ctrlStep struct {
+	x, hprev, cprev []float64
+	gi, gf, gg, go_ []float64
+	cell, tanhc, h  []float64
+	isOp            bool
+	valid           int
+	probs           []float64
+	action          int
+	prevAction      int // embedding bookkeeping: which row x came from
+	prevIsOp        bool
+	prevIsStart     bool
+}
+
+// Trajectory is one sampled architecture with the caches needed to
+// compute its policy gradient.
+type Trajectory struct {
+	Arch  Architecture
+	steps []*ctrlStep
+	// LogProb is Σ log π(aₜ) of the sample.
+	LogProb float64
+}
+
+// Sample draws one architecture from the current policy.
+func (c *Controller) Sample() Trajectory {
+	h := make([]float64, c.HiddenDim)
+	cc := make([]float64, c.HiddenDim)
+	x := append([]float64(nil), c.startEmb.Value.Data...)
+	prevIsStart := true
+	prevIsOp := false
+	prevAction := 0
+
+	traj := Trajectory{Arch: Architecture{Blocks: make([]BlockGene, c.Blocks)}}
+	for b := 0; b < c.Blocks; b++ {
+		valid := InputSetSize(b)
+		numOps := len(c.ops)
+		decisions := []struct {
+			isOp  bool
+			valid int
+		}{
+			{false, valid}, {false, valid}, {true, numOps}, {true, numOps},
+		}
+		actions := make([]int, 4)
+		for d, spec := range decisions {
+			step := &ctrlStep{
+				x: x, hprev: h, cprev: cc,
+				isOp: spec.isOp, valid: spec.valid,
+				prevAction: prevAction, prevIsOp: prevIsOp, prevIsStart: prevIsStart,
+			}
+			h, cc = c.cellForward(step)
+			logits := c.headForward(step)
+			probs := maskedSoftmax(logits, spec.valid)
+			step.probs = probs
+			a := sampleFrom(probs, c.rng)
+			step.action = a
+			traj.LogProb += math.Log(probs[a] + 1e-12)
+			traj.steps = append(traj.steps, step)
+			actions[d] = a
+
+			// Next input embedding.
+			prevIsStart = false
+			prevIsOp = spec.isOp
+			prevAction = a
+			if spec.isOp {
+				x = embRow(c.opEmb, a)
+			} else {
+				x = embRow(c.inEmb, a)
+			}
+		}
+		traj.Arch.Blocks[b] = BlockGene{
+			In1: actions[0], In2: actions[1],
+			Op1: c.ops[actions[2]], Op2: c.ops[actions[3]],
+		}
+	}
+	return traj
+}
+
+// Update applies one REINFORCE step over the sampled trajectories with
+// their rewards (validation accuracies), using the moving-average
+// baseline to reduce variance.
+func (c *Controller) Update(trajs []Trajectory, rewards []float64) error {
+	if len(trajs) != len(rewards) {
+		return fmt.Errorf("nas: %d trajectories vs %d rewards", len(trajs), len(rewards))
+	}
+	if len(trajs) == 0 {
+		return nil
+	}
+	var meanR float64
+	for _, r := range rewards {
+		meanR += r
+	}
+	meanR /= float64(len(rewards))
+	if !c.baselineInit {
+		c.Baseline = meanR
+		c.baselineInit = true
+	} else {
+		c.Baseline = c.BaselineDecay*c.Baseline + (1-c.BaselineDecay)*meanR
+	}
+
+	for _, p := range c.Params() {
+		p.ZeroGrad()
+	}
+	scale := 1 / float64(len(trajs))
+	for ti, traj := range trajs {
+		adv := rewards[ti] - c.Baseline
+		c.backprop(traj, adv*scale, c.EntropyWeight*scale)
+	}
+	c.opt.Step(c.Params())
+	return nil
+}
+
+// backprop accumulates the policy gradient of one trajectory: the loss
+// is -adv·Σ log π(aₜ) - entScale·H(π), so dlogits = adv·(probs − onehot)
+// plus the entropy-bonus gradient.
+func (c *Controller) backprop(traj Trajectory, adv, entScale float64) {
+	dh := make([]float64, c.HiddenDim)
+	dc := make([]float64, c.HiddenDim)
+	for t := len(traj.steps) - 1; t >= 0; t-- {
+		step := traj.steps[t]
+		// Head gradient.
+		headW, headB := c.opHeadW, c.opHeadB
+		if !step.isOp {
+			headW, headB = c.inHeadW, c.inHeadB
+		}
+		n := len(step.probs)
+		dlogits := make([]float64, n)
+		for j := 0; j < step.valid; j++ {
+			dlogits[j] = adv * step.probs[j]
+		}
+		dlogits[step.action] -= adv
+		if entScale > 0 {
+			// Gradient of -w·H(π) wrt logits: w·p∘(log p + H).
+			var ent float64
+			for j := 0; j < step.valid; j++ {
+				if p := step.probs[j]; p > 0 {
+					ent -= p * math.Log(p)
+				}
+			}
+			for j := 0; j < step.valid; j++ {
+				if p := step.probs[j]; p > 0 {
+					dlogits[j] += entScale * p * (math.Log(p) + ent)
+				}
+			}
+		}
+		// dW += hᵀ·dlogits ; dB += dlogits ; dh += dlogits·Wᵀ
+		for i := 0; i < c.HiddenDim; i++ {
+			hi := step.h[i]
+			row := headW.Value.Data[i*n : (i+1)*n]
+			grow := headW.Grad.Data[i*n : (i+1)*n]
+			var s float64
+			for j := 0; j < n; j++ {
+				grow[j] += hi * dlogits[j]
+				s += dlogits[j] * row[j]
+			}
+			dh[i] += s
+		}
+		for j := 0; j < n; j++ {
+			headB.Grad.Data[j] += dlogits[j]
+		}
+
+		dx, dhprev, dcprev := c.cellBackward(step, dh, dc)
+
+		// Route dx into the embedding that produced x.
+		switch {
+		case step.prevIsStart:
+			tensorAxpy(1, dx, c.startEmb.Grad.Data)
+		case step.prevIsOp:
+			tensorAxpy(1, dx, embGradRow(c.opEmb, step.prevAction))
+		default:
+			tensorAxpy(1, dx, embGradRow(c.inEmb, step.prevAction))
+		}
+		dh, dc = dhprev, dcprev
+	}
+}
+
+// cellForward runs the LSTM cell, caching gates into step, and returns
+// (h, c).
+func (c *Controller) cellForward(step *ctrlStep) (h, cell []float64) {
+	H := c.HiddenDim
+	z := make([]float64, 4*H)
+	copy(z, c.bias.Value.Data)
+	for i, xv := range step.x {
+		if xv == 0 {
+			continue
+		}
+		row := c.wx.Value.Data[i*4*H : (i+1)*4*H]
+		tensorAxpy(xv, row, z)
+	}
+	for i, hv := range step.hprev {
+		if hv == 0 {
+			continue
+		}
+		row := c.wh.Value.Data[i*4*H : (i+1)*4*H]
+		tensorAxpy(hv, row, z)
+	}
+	gi := make([]float64, H)
+	gf := make([]float64, H)
+	gg := make([]float64, H)
+	go_ := make([]float64, H)
+	cell = make([]float64, H)
+	tanhc := make([]float64, H)
+	h = make([]float64, H)
+	for j := 0; j < H; j++ {
+		gi[j] = nn.Sigmoid(z[j])
+		gf[j] = nn.Sigmoid(z[H+j])
+		gg[j] = math.Tanh(z[2*H+j])
+		go_[j] = nn.Sigmoid(z[3*H+j])
+		cell[j] = gf[j]*step.cprev[j] + gi[j]*gg[j]
+		tanhc[j] = math.Tanh(cell[j])
+		h[j] = go_[j] * tanhc[j]
+	}
+	step.gi, step.gf, step.gg, step.go_ = gi, gf, gg, go_
+	step.cell, step.tanhc, step.h = cell, tanhc, h
+	return h, cell
+}
+
+// cellBackward backpropagates (dh, dc) through the cached cell step and
+// returns (dx, dhprev, dcprev), accumulating parameter gradients.
+func (c *Controller) cellBackward(step *ctrlStep, dh, dc []float64) (dx, dhprev, dcprev []float64) {
+	H := c.HiddenDim
+	dz := make([]float64, 4*H)
+	dcprev = make([]float64, H)
+	for j := 0; j < H; j++ {
+		do := dh[j] * step.tanhc[j]
+		dcell := dc[j] + dh[j]*step.go_[j]*(1-step.tanhc[j]*step.tanhc[j])
+		di := dcell * step.gg[j]
+		dg := dcell * step.gi[j]
+		df := dcell * step.cprev[j]
+		dcprev[j] = dcell * step.gf[j]
+		dz[j] = di * step.gi[j] * (1 - step.gi[j])
+		dz[H+j] = df * step.gf[j] * (1 - step.gf[j])
+		dz[2*H+j] = dg * (1 - step.gg[j]*step.gg[j])
+		dz[3*H+j] = do * step.go_[j] * (1 - step.go_[j])
+	}
+	// Parameter grads and input grads.
+	dx = make([]float64, c.EmbedDim)
+	dhprev = make([]float64, H)
+	for i, xv := range step.x {
+		grow := c.wx.Grad.Data[i*4*H : (i+1)*4*H]
+		row := c.wx.Value.Data[i*4*H : (i+1)*4*H]
+		var s float64
+		for j := range dz {
+			grow[j] += xv * dz[j]
+			s += dz[j] * row[j]
+		}
+		dx[i] = s
+	}
+	for i, hv := range step.hprev {
+		grow := c.wh.Grad.Data[i*4*H : (i+1)*4*H]
+		row := c.wh.Value.Data[i*4*H : (i+1)*4*H]
+		var s float64
+		for j := range dz {
+			grow[j] += hv * dz[j]
+			s += dz[j] * row[j]
+		}
+		dhprev[i] = s
+	}
+	tensorAxpy(1, dz, c.bias.Grad.Data)
+	return dx, dhprev, dcprev
+}
+
+// headForward computes logits for the current step from the hidden
+// state.
+func (c *Controller) headForward(step *ctrlStep) []float64 {
+	headW, headB := c.opHeadW, c.opHeadB
+	if !step.isOp {
+		headW, headB = c.inHeadW, c.inHeadB
+	}
+	n := headW.Value.Cols
+	logits := append([]float64(nil), headB.Value.Data...)
+	for i, hv := range step.h {
+		if hv == 0 {
+			continue
+		}
+		row := headW.Value.Data[i*n : (i+1)*n]
+		tensorAxpy(hv, row, logits)
+	}
+	return logits
+}
+
+func maskedSoftmax(logits []float64, valid int) []float64 {
+	probs := make([]float64, len(logits))
+	maxv := math.Inf(-1)
+	for j := 0; j < valid; j++ {
+		if logits[j] > maxv {
+			maxv = logits[j]
+		}
+	}
+	var sum float64
+	for j := 0; j < valid; j++ {
+		e := math.Exp(logits[j] - maxv)
+		probs[j] = e
+		sum += e
+	}
+	for j := 0; j < valid; j++ {
+		probs[j] /= sum
+	}
+	return probs
+}
+
+func sampleFrom(probs []float64, rng *rand.Rand) int {
+	r := rng.Float64()
+	var cum float64
+	last := 0
+	for i, p := range probs {
+		if p <= 0 {
+			continue
+		}
+		cum += p
+		last = i
+		if r < cum {
+			return i
+		}
+	}
+	return last
+}
+
+func embRow(p *nn.Param, row int) []float64 {
+	return append([]float64(nil), p.Value.Data[row*p.Value.Cols:(row+1)*p.Value.Cols]...)
+}
+
+func embGradRow(p *nn.Param, row int) []float64 {
+	return p.Grad.Data[row*p.Grad.Cols : (row+1)*p.Grad.Cols]
+}
+
+func tensorAxpy(alpha float64, x, y []float64) {
+	for i := range x {
+		y[i] += alpha * x[i]
+	}
+}

@@ -1,0 +1,582 @@
+package nas
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"acme/internal/nn"
+	"acme/internal/tensor"
+)
+
+// HeaderConfig sizes a header model.
+type HeaderConfig struct {
+	Blocks     int // B: blocks per underlying module
+	Repeats    int // U: module repetitions
+	DModel     int // token width (matches the backbone)
+	Hidden     int // classifier MLP hidden width
+	NumClasses int
+	// TrainBackbone propagates gradients into the backbone (Phase 2-1
+	// behaviour; Phase 2-2 freezes it).
+	TrainBackbone bool
+}
+
+// Validate reports configuration errors.
+func (c HeaderConfig) Validate() error {
+	if c.Blocks <= 0 || c.Repeats <= 0 || c.DModel <= 0 || c.Hidden <= 0 || c.NumClasses <= 0 {
+		return fmt.Errorf("nas: non-positive header config %+v", c)
+	}
+	return nil
+}
+
+// bankKey identifies a shared op instance: module repeat, block, slot
+// (0 or 1), and operation kind.
+type bankKey struct {
+	U, B, Slot int
+	Kind       OpKind
+}
+
+// OpBank holds the shared child-model parameters ωs of ENAS-style
+// search: every (repeat, block, slot, kind) position has exactly one op
+// instance, reused by every sampled architecture that picks that kind at
+// that position.
+type OpBank struct {
+	Dim int
+	rng *rand.Rand
+	ops map[bankKey]nn.SeqOp
+}
+
+// NewOpBank returns an empty bank for headers of token width dim.
+func NewOpBank(dim int, rng *rand.Rand) *OpBank {
+	return &OpBank{Dim: dim, rng: rng, ops: make(map[bankKey]nn.SeqOp)}
+}
+
+// Get returns (lazily creating) the shared op at the given position.
+func (bk *OpBank) Get(u, b, slot int, kind OpKind) nn.SeqOp {
+	key := bankKey{U: u, B: b, Slot: slot, Kind: kind}
+	if op, ok := bk.ops[key]; ok {
+		return op
+	}
+	name := fmt.Sprintf("bank.u%d.b%d.s%d.%v", u, b, slot, kind)
+	op := newOp(kind, name, bk.Dim, bk.rng)
+	bk.ops[key] = op
+	return op
+}
+
+// Params returns all instantiated bank parameters in deterministic
+// order.
+func (bk *OpBank) Params() []*nn.Param {
+	keys := make([]bankKey, 0, len(bk.ops))
+	for k := range bk.ops {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.U != b.U {
+			return a.U < b.U
+		}
+		if a.B != b.B {
+			return a.B < b.B
+		}
+		if a.Slot != b.Slot {
+			return a.Slot < b.Slot
+		}
+		return a.Kind < b.Kind
+	})
+	var ps []*nn.Param
+	for _, k := range keys {
+		ps = append(ps, bk.ops[k].Params()...)
+	}
+	return ps
+}
+
+// HeaderModel is a concrete header: the DAG of B blocks repeated U
+// times over (backbone output, penultimate output), followed by token
+// mean-pooling, concatenation with the [CLS] representation, and a
+// two-layer MLP classifier (Fig. 5).
+//
+// Implements nn.Classifier over raw samples by running the attached
+// backbone first.
+type HeaderModel struct {
+	Cfg      HeaderConfig
+	Arch     Architecture
+	Backbone *nn.Backbone
+
+	// ops[u][b][slot] are the operation instances (possibly shared with
+	// an OpBank during search, or privately owned after Materialize).
+	ops [][][2]nn.SeqOp
+	// opMasks[u][b][slot] is an optional per-channel output mask for
+	// parametric ops, populated by ApplyImportance.
+	opMasks [][][2][]bool
+
+	FC1        *nn.Linear
+	FC2        *nn.Linear
+	act        nn.GELU
+	HiddenMask []bool
+
+	// forward caches
+	nodes      [][]*tensor.Matrix // per repeat: inputs + block outputs
+	moduleOuts []*tensor.Matrix
+	looseEnds  [][]int
+	pooled     *tensor.Matrix
+	hidden     *tensor.Matrix
+	seqLen     int
+}
+
+var _ nn.Classifier = (*HeaderModel)(nil)
+
+// BuildShared assembles a header over bank-shared ops (used during
+// search, where thousands of candidate headers reuse one weight set).
+func BuildShared(cfg HeaderConfig, arch Architecture, backbone *nn.Backbone, bank *OpBank, fc1, fc2 *nn.Linear) (*HeaderModel, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := arch.Validate(); err != nil {
+		return nil, err
+	}
+	if len(arch.Blocks) != cfg.Blocks {
+		return nil, fmt.Errorf("nas: arch has %d blocks, config %d", len(arch.Blocks), cfg.Blocks)
+	}
+	h := &HeaderModel{Cfg: cfg, Arch: arch, Backbone: backbone, FC1: fc1, FC2: fc2}
+	h.ops = make([][][2]nn.SeqOp, cfg.Repeats)
+	h.opMasks = make([][][2][]bool, cfg.Repeats)
+	for u := 0; u < cfg.Repeats; u++ {
+		h.ops[u] = make([][2]nn.SeqOp, cfg.Blocks)
+		h.opMasks[u] = make([][2][]bool, cfg.Blocks)
+		for b, gene := range arch.Blocks {
+			h.ops[u][b][0] = bank.Get(u, b, 0, gene.Op1)
+			h.ops[u][b][1] = bank.Get(u, b, 1, gene.Op2)
+		}
+	}
+	h.HiddenMask = make([]bool, cfg.Hidden)
+	for i := range h.HiddenMask {
+		h.HiddenMask[i] = true
+	}
+	return h, nil
+}
+
+// NewHeaderModel builds a header with privately owned, freshly
+// initialized operations and classifier.
+func NewHeaderModel(cfg HeaderConfig, arch Architecture, backbone *nn.Backbone, rng *rand.Rand) (*HeaderModel, error) {
+	bank := NewOpBank(cfg.DModel, rng)
+	fc1 := nn.NewLinear("header.fc1", 2*cfg.DModel, cfg.Hidden, rng)
+	fc2 := nn.NewLinear("header.fc2", cfg.Hidden, cfg.NumClasses, rng)
+	return BuildShared(cfg, arch, backbone, bank, fc1, fc2)
+}
+
+// Clone returns a deep copy of the header (ops, classifier, masks)
+// attached to the given backbone. Used when the edge server distributes
+// θs to its devices.
+func (h *HeaderModel) Clone(backbone *nn.Backbone) *HeaderModel {
+	out := &HeaderModel{
+		Cfg:      h.Cfg,
+		Arch:     h.Arch,
+		Backbone: backbone,
+		FC1:      cloneLinear(h.FC1),
+		FC2:      cloneLinear(h.FC2),
+	}
+	out.HiddenMask = append([]bool(nil), h.HiddenMask...)
+	out.ops = make([][][2]nn.SeqOp, len(h.ops))
+	out.opMasks = make([][][2][]bool, len(h.ops))
+	rng := rand.New(rand.NewSource(0))
+	for u := range h.ops {
+		out.ops[u] = make([][2]nn.SeqOp, len(h.ops[u]))
+		out.opMasks[u] = make([][2][]bool, len(h.ops[u]))
+		for b := range h.ops[u] {
+			for s := 0; s < 2; s++ {
+				out.ops[u][b][s] = cloneOp(h.ops[u][b][s], h.Cfg.DModel, rng)
+				if m := h.opMasks[u][b][s]; m != nil {
+					out.opMasks[u][b][s] = append([]bool(nil), m...)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// HeaderMasks snapshots a header's pruning state: the classifier hidden
+// mask and the per-(repeat, block, slot) channel masks (nil = unmasked).
+type HeaderMasks struct {
+	Hidden []bool
+	Ops    [][][2][]bool
+}
+
+// ExportMasks returns a deep copy of the current pruning masks.
+func (h *HeaderModel) ExportMasks() HeaderMasks {
+	m := HeaderMasks{Hidden: append([]bool(nil), h.HiddenMask...)}
+	m.Ops = make([][][2][]bool, len(h.opMasks))
+	for u := range h.opMasks {
+		m.Ops[u] = make([][2][]bool, len(h.opMasks[u]))
+		for b := range h.opMasks[u] {
+			for s := 0; s < 2; s++ {
+				if src := h.opMasks[u][b][s]; src != nil {
+					m.Ops[u][b][s] = append([]bool(nil), src...)
+				}
+			}
+		}
+	}
+	return m
+}
+
+// ImportMasks restores pruning masks exported by ExportMasks.
+func (h *HeaderModel) ImportMasks(m HeaderMasks) error {
+	if len(m.Hidden) != len(h.HiddenMask) {
+		return fmt.Errorf("nas: hidden mask size %d want %d", len(m.Hidden), len(h.HiddenMask))
+	}
+	copy(h.HiddenMask, m.Hidden)
+	if len(m.Ops) != len(h.opMasks) {
+		return fmt.Errorf("nas: op mask repeats %d want %d", len(m.Ops), len(h.opMasks))
+	}
+	for u := range m.Ops {
+		if len(m.Ops[u]) != len(h.opMasks[u]) {
+			return fmt.Errorf("nas: op mask blocks %d want %d at repeat %d", len(m.Ops[u]), len(h.opMasks[u]), u)
+		}
+		for b := range m.Ops[u] {
+			for s := 0; s < 2; s++ {
+				if src := m.Ops[u][b][s]; src != nil {
+					h.opMasks[u][b][s] = append([]bool(nil), src...)
+				} else {
+					h.opMasks[u][b][s] = nil
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Materialize returns a privately owned copy of a bank-shared header,
+// so the search result can be shipped to devices without aliasing the
+// bank.
+func (h *HeaderModel) Materialize() *HeaderModel { return h.Clone(h.Backbone) }
+
+// Forward implements nn.Classifier.
+func (h *HeaderModel) Forward(x []float64) ([]float64, error) {
+	final, err := h.Backbone.Forward(x)
+	if err != nil {
+		return nil, err
+	}
+	pen := h.Backbone.Penultimate()
+	return h.forwardFromFeatures(final, pen), nil
+}
+
+// forwardFromFeatures runs the header DAG and classifier given the
+// backbone representations.
+func (h *HeaderModel) forwardFromFeatures(final, pen *tensor.Matrix) []float64 {
+	U := h.Cfg.Repeats
+	h.seqLen = final.Rows
+	h.nodes = make([][]*tensor.Matrix, U)
+	h.moduleOuts = make([]*tensor.Matrix, U)
+	h.looseEnds = make([][]int, U)
+	for u := 0; u < U; u++ {
+		in0, in1 := h.moduleInputs(u, final, pen)
+		nodes := make([]*tensor.Matrix, 2, 2+h.Cfg.Blocks)
+		nodes[0], nodes[1] = in0, in1
+		used := make([]bool, 2+h.Cfg.Blocks)
+		for b, gene := range h.Arch.Blocks {
+			y1 := h.ops[u][b][0].Forward(nodes[gene.In1])
+			y2 := h.ops[u][b][1].Forward(nodes[gene.In2])
+			h.applyOpMask(y1, u, b, 0)
+			h.applyOpMask(y2, u, b, 1)
+			out := tensor.Add(y1, y2)
+			nodes = append(nodes, out)
+			used[gene.In1] = true
+			used[gene.In2] = true
+		}
+		h.nodes[u] = nodes
+		// Module output: mean of loose-end blocks (outputs unused inside
+		// the module).
+		var loose []int
+		for b := 0; b < h.Cfg.Blocks; b++ {
+			if !used[2+b] {
+				loose = append(loose, 2+b)
+			}
+		}
+		if len(loose) == 0 {
+			loose = []int{2 + h.Cfg.Blocks - 1}
+		}
+		h.looseEnds[u] = loose
+		out := tensor.New(final.Rows, h.Cfg.DModel)
+		for _, idx := range loose {
+			tensor.AddInPlace(out, nodes[idx])
+		}
+		out.Scale(1 / float64(len(loose)))
+		h.moduleOuts[u] = out
+	}
+
+	// Token mean-pool of the last module output, concatenated with the
+	// backbone [CLS] representation.
+	last := h.moduleOuts[U-1]
+	mean := last.MeanRows()
+	concat := make([]float64, 2*h.Cfg.DModel)
+	copy(concat[:h.Cfg.DModel], mean)
+	copy(concat[h.Cfg.DModel:], final.Row(0))
+	h.pooled = tensor.FromSlice(1, 2*h.Cfg.DModel, concat)
+
+	hid := h.act.Forward(h.FC1.Forward(h.pooled))
+	for j, on := range h.HiddenMask {
+		if !on {
+			hid.Data[j] = 0
+		}
+	}
+	h.hidden = hid
+	return h.FC2.Forward(hid).Row(0)
+}
+
+// moduleInputs wires repeat u to its two inputs.
+func (h *HeaderModel) moduleInputs(u int, final, pen *tensor.Matrix) (in0, in1 *tensor.Matrix) {
+	switch u {
+	case 0:
+		return final, pen
+	case 1:
+		return h.moduleOuts[0], final
+	default:
+		return h.moduleOuts[u-1], h.moduleOuts[u-2]
+	}
+}
+
+// Backward implements nn.Classifier.
+func (h *HeaderModel) Backward(dlogits []float64) {
+	dl := tensor.FromSlice(1, len(dlogits), dlogits)
+	dHid := h.FC2.Backward(dl)
+	for j, on := range h.HiddenMask {
+		if !on {
+			dHid.Data[j] = 0
+		}
+	}
+	dConcat := h.FC1.Backward(h.act.Backward(dHid))
+
+	U := h.Cfg.Repeats
+	d := h.Cfg.DModel
+	// Gradient of the token mean-pool back to the last module output.
+	dModule := make([]*tensor.Matrix, U)
+	dLast := tensor.New(h.seqLen, d)
+	inv := 1 / float64(h.seqLen)
+	for t := 0; t < h.seqLen; t++ {
+		row := dLast.Row(t)
+		for j := 0; j < d; j++ {
+			row[j] = dConcat.Data[j] * inv
+		}
+	}
+	dModule[U-1] = dLast
+
+	dFinal := tensor.New(h.seqLen, d)
+	// CLS half of the concat flows straight into the backbone final row 0.
+	for j := 0; j < d; j++ {
+		dFinal.Row(0)[j] += dConcat.Data[d+j]
+	}
+	dPen := tensor.New(h.seqLen, d)
+
+	for u := U - 1; u >= 0; u-- {
+		if dModule[u] == nil {
+			continue
+		}
+		nodeGrads := make([]*tensor.Matrix, 2+h.Cfg.Blocks)
+		share := dModule[u].Clone()
+		share.Scale(1 / float64(len(h.looseEnds[u])))
+		for _, idx := range h.looseEnds[u] {
+			nodeGrads[idx] = addGrad(nodeGrads[idx], share)
+		}
+		for b := h.Cfg.Blocks - 1; b >= 0; b-- {
+			g := nodeGrads[2+b]
+			if g == nil {
+				continue
+			}
+			gene := h.Arch.Blocks[b]
+			g1 := g.Clone()
+			g2 := g.Clone()
+			h.applyOpMaskGrad(g1, u, b, 0)
+			h.applyOpMaskGrad(g2, u, b, 1)
+			dx1 := h.ops[u][b][0].Backward(g1)
+			dx2 := h.ops[u][b][1].Backward(g2)
+			nodeGrads[gene.In1] = addGrad(nodeGrads[gene.In1], dx1)
+			nodeGrads[gene.In2] = addGrad(nodeGrads[gene.In2], dx2)
+		}
+		h.routeInputGrads(u, nodeGrads, dModule, dFinal, dPen)
+	}
+
+	if h.Cfg.TrainBackbone {
+		inj := map[int]*tensor.Matrix{}
+		if h.Backbone.ActiveDepth > 0 {
+			inj[h.Backbone.ActiveDepth-1] = dPen
+		}
+		h.Backbone.Backward(dFinal, inj)
+	}
+}
+
+func (h *HeaderModel) routeInputGrads(u int, nodeGrads []*tensor.Matrix, dModule []*tensor.Matrix, dFinal, dPen *tensor.Matrix) {
+	g0, g1 := nodeGrads[0], nodeGrads[1]
+	switch u {
+	case 0:
+		if g0 != nil {
+			tensor.AddInPlace(dFinal, g0)
+		}
+		if g1 != nil {
+			tensor.AddInPlace(dPen, g1)
+		}
+	case 1:
+		if g0 != nil {
+			dModule[0] = addGrad(dModule[0], g0)
+		}
+		if g1 != nil {
+			tensor.AddInPlace(dFinal, g1)
+		}
+	default:
+		if g0 != nil {
+			dModule[u-1] = addGrad(dModule[u-1], g0)
+		}
+		if g1 != nil {
+			dModule[u-2] = addGrad(dModule[u-2], g1)
+		}
+	}
+}
+
+func addGrad(dst, src *tensor.Matrix) *tensor.Matrix {
+	if dst == nil {
+		return src.Clone()
+	}
+	tensor.AddInPlace(dst, src)
+	return dst
+}
+
+func (h *HeaderModel) applyOpMask(y *tensor.Matrix, u, b, slot int) {
+	mask := h.opMasks[u][b][slot]
+	if mask == nil {
+		return
+	}
+	for j, on := range mask {
+		if on {
+			continue
+		}
+		for t := 0; t < y.Rows; t++ {
+			y.Row(t)[j] = 0
+		}
+	}
+}
+
+func (h *HeaderModel) applyOpMaskGrad(g *tensor.Matrix, u, b, slot int) {
+	h.applyOpMask(g, u, b, slot)
+}
+
+// Params implements Module. Header parameters only — the backbone's are
+// deliberately excluded so Phase 2-2 training and importance sets cover
+// exactly ΥᴴΥ (the paper's header parameter set). Order is
+// deterministic: ops in (u, b, slot) order, then FC1, FC2.
+func (h *HeaderModel) Params() []*nn.Param {
+	var ps []*nn.Param
+	seen := make(map[*nn.Param]bool)
+	for u := range h.ops {
+		for b := range h.ops[u] {
+			for s := 0; s < 2; s++ {
+				for _, p := range h.ops[u][b][s].Params() {
+					if !seen[p] {
+						seen[p] = true
+						ps = append(ps, p)
+					}
+				}
+			}
+		}
+	}
+	ps = append(ps, h.FC1.Params()...)
+	ps = append(ps, h.FC2.Params()...)
+	return ps
+}
+
+// AllParams returns header plus backbone parameters (for Phase 2-1
+// where the backbone trains along with the header).
+func (h *HeaderModel) AllParams() []*nn.Param {
+	return append(h.Params(), h.Backbone.Params()...)
+}
+
+// ActiveParamCount counts unmasked header parameters.
+func (h *HeaderModel) ActiveParamCount() int {
+	var n int
+	seen := make(map[*nn.Param]bool)
+	for u := range h.ops {
+		for b := range h.ops[u] {
+			for s := 0; s < 2; s++ {
+				op := h.ops[u][b][s]
+				if conv, ok := op.(*nn.Conv1D); ok {
+					if seen[conv.W] {
+						continue
+					}
+					seen[conv.W] = true
+					active := h.Cfg.DModel
+					if mask := h.opMasks[u][b][s]; mask != nil {
+						active = 0
+						for _, on := range mask {
+							if on {
+								active++
+							}
+						}
+					}
+					n += (conv.Kernel*conv.Dim + 1) * active
+					continue
+				}
+				// Other parametric ops (LayerNorm, MHSA, MLP from the
+				// extended set) count fully; they are not channel-pruned.
+				for _, p := range op.Params() {
+					if seen[p] {
+						continue
+					}
+					seen[p] = true
+					n += p.NumParams()
+				}
+			}
+		}
+	}
+	activeHidden := 0
+	for _, on := range h.HiddenMask {
+		if on {
+			activeHidden++
+		}
+	}
+	n += (2*h.Cfg.DModel + 1) * activeHidden // FC1 columns + bias
+	n += activeHidden * h.Cfg.NumClasses     // FC2 rows
+	n += h.Cfg.NumClasses                    // FC2 bias
+	return n
+}
+
+func cloneLinear(l *nn.Linear) *nn.Linear {
+	return &nn.Linear{In: l.In, Out: l.Out, W: l.W.Clone(), B: l.B.Clone()}
+}
+
+func cloneOp(op nn.SeqOp, dim int, rng *rand.Rand) nn.SeqOp {
+	switch o := op.(type) {
+	case *nn.Conv1D:
+		c := nn.NewConv1D(o.W.Name, o.Kernel, dim, rng)
+		copy(c.W.Value.Data, o.W.Value.Data)
+		copy(c.B.Value.Data, o.B.Value.Data)
+		return c
+	case nn.Identity:
+		return nn.Identity{}
+	case *nn.Downsample:
+		return &nn.Downsample{}
+	case *nn.AvgPool1D:
+		return &nn.AvgPool1D{Window: o.Window}
+	case *nn.MaxPool1D:
+		return &nn.MaxPool1D{Window: o.Window}
+	case *nn.LayerNormOp:
+		ln := nn.NewLayerNormOp(o.LN.Gain.Name, dim, rng)
+		copy(ln.LN.Gain.Value.Data, o.LN.Gain.Value.Data)
+		copy(ln.LN.Bias.Value.Data, o.LN.Bias.Value.Data)
+		return ln
+	case *nn.MHSA:
+		m := nn.NewMHSA(o.Wq.Name, dim, o.NumHeads, rng)
+		src, dst := o.Params(), m.Params()
+		for i := range src {
+			copy(dst[i].Value.Data, src[i].Value.Data)
+		}
+		copy(m.HeadMask, o.HeadMask)
+		return m
+	case *nn.MLP:
+		m := nn.NewMLP(o.FC1.W.Name, o.DModel, o.Hidden, rng)
+		src, dst := o.Params(), m.Params()
+		for i := range src {
+			copy(dst[i].Value.Data, src[i].Value.Data)
+		}
+		copy(m.NeuronMask, o.NeuronMask)
+		return m
+	default:
+		panic(fmt.Sprintf("nas: unknown op type %T", op))
+	}
+}

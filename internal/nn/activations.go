@@ -1,0 +1,77 @@
+package nn
+
+import (
+	"math"
+
+	"acme/internal/tensor"
+)
+
+// GELU is the Gaussian Error Linear Unit activation, applied element-wise.
+type GELU struct {
+	x *tensor.Matrix
+}
+
+// Forward computes y = x·Φ(x) with the exact Gaussian CDF.
+func (g *GELU) Forward(x *tensor.Matrix) *tensor.Matrix {
+	g.x = x
+	y := tensor.New(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		y.Data[i] = v * gaussCDF(v)
+	}
+	return y
+}
+
+// Backward returns dx = dy ∘ gelu'(x).
+func (g *GELU) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	dx := tensor.New(dy.Rows, dy.Cols)
+	for i, v := range g.x.Data {
+		dx.Data[i] = dy.Data[i] * (gaussCDF(v) + v*gaussPDF(v))
+	}
+	return dx
+}
+
+// Params implements Module.
+func (g *GELU) Params() []*Param { return nil }
+
+// ReLU is the rectified linear activation, applied element-wise.
+type ReLU struct {
+	x *tensor.Matrix
+}
+
+// Forward computes y = max(0, x).
+func (r *ReLU) Forward(x *tensor.Matrix) *tensor.Matrix {
+	r.x = x
+	y := tensor.New(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		if v > 0 {
+			y.Data[i] = v
+		}
+	}
+	return y
+}
+
+// Backward returns dx = dy ∘ 1[x>0].
+func (r *ReLU) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	dx := tensor.New(dy.Rows, dy.Cols)
+	for i, v := range r.x.Data {
+		if v > 0 {
+			dx.Data[i] = dy.Data[i]
+		}
+	}
+	return dx
+}
+
+// Params implements Module.
+func (r *ReLU) Params() []*Param { return nil }
+
+func gaussCDF(x float64) float64 { return 0.5 * (1 + math.Erf(x/math.Sqrt2)) }
+
+func gaussPDF(x float64) float64 {
+	return math.Exp(-0.5*x*x) / math.Sqrt(2*math.Pi)
+}
+
+// Sigmoid returns 1/(1+e^-x).
+func Sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// Tanh is math.Tanh re-exported for symmetry with Sigmoid.
+func Tanh(x float64) float64 { return math.Tanh(x) }

@@ -1,0 +1,208 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"acme/internal/tensor"
+)
+
+// MHSA is multi-head self-attention with per-head binary masks.
+//
+// Masked heads are skipped entirely: their output contribution is zero
+// and no gradient flows through them. Masks are how ACME's width-scaled
+// backbones remove unimportant heads (paper §III-B1).
+//
+// When RecordImportance is true the layer accumulates the Taylor
+// first-order head importance of Eq. (8), Ih ≈ |Σ (∂F/∂O_h) ∘ O_h|,
+// into HeadImportance during Backward.
+type MHSA struct {
+	DModel, NumHeads, HeadDim int
+
+	Wq, Wk, Wv, Wo *Param
+	Bo             *Param
+
+	HeadMask         []bool
+	RecordImportance bool
+	HeadImportance   []float64
+
+	// caches for backward
+	x       *tensor.Matrix
+	q, k, v *tensor.Matrix
+	attn    []*tensor.Matrix // per head: seq × seq softmax weights
+	headOut []*tensor.Matrix // per head: seq × headDim
+	concat  *tensor.Matrix
+}
+
+// NewMHSA returns an MHSA layer with all heads active. dModel must be a
+// multiple of numHeads.
+func NewMHSA(name string, dModel, numHeads int, rng *rand.Rand) *MHSA {
+	hd := dModel / numHeads
+	m := &MHSA{
+		DModel:   dModel,
+		NumHeads: numHeads,
+		HeadDim:  hd,
+		Wq:       NewParam(name+".wq", dModel, dModel),
+		Wk:       NewParam(name+".wk", dModel, dModel),
+		Wv:       NewParam(name+".wv", dModel, dModel),
+		Wo:       NewParam(name+".wo", dModel, dModel),
+		Bo:       NewParam(name+".bo", 1, dModel),
+		HeadMask: make([]bool, numHeads),
+	}
+	for i := range m.HeadMask {
+		m.HeadMask[i] = true
+	}
+	m.Wq.InitXavier(rng, dModel, dModel)
+	m.Wk.InitXavier(rng, dModel, dModel)
+	m.Wv.InitXavier(rng, dModel, dModel)
+	m.Wo.InitXavier(rng, dModel, dModel)
+	m.HeadImportance = make([]float64, numHeads)
+	return m
+}
+
+// ActiveHeads returns the number of unmasked heads.
+func (m *MHSA) ActiveHeads() int {
+	var n int
+	for _, on := range m.HeadMask {
+		if on {
+			n++
+		}
+	}
+	return n
+}
+
+// headSlice extracts the columns of mat belonging to head h as a copy.
+func (m *MHSA) headSlice(mat *tensor.Matrix, h int) *tensor.Matrix {
+	out := tensor.New(mat.Rows, m.HeadDim)
+	off := h * m.HeadDim
+	for i := 0; i < mat.Rows; i++ {
+		copy(out.Row(i), mat.Row(i)[off:off+m.HeadDim])
+	}
+	return out
+}
+
+// headSliceAdd adds src into the columns of dst belonging to head h.
+func (m *MHSA) headSliceAdd(dst, src *tensor.Matrix, h int) {
+	off := h * m.HeadDim
+	for i := 0; i < src.Rows; i++ {
+		drow := dst.Row(i)[off : off+m.HeadDim]
+		for j, v := range src.Row(i) {
+			drow[j] += v
+		}
+	}
+}
+
+// Forward computes masked multi-head self-attention over x (seq × d).
+func (m *MHSA) Forward(x *tensor.Matrix) *tensor.Matrix {
+	m.x = x
+	m.q = tensor.MatMul(x, m.Wq.Value)
+	m.k = tensor.MatMul(x, m.Wk.Value)
+	m.v = tensor.MatMul(x, m.Wv.Value)
+	m.attn = make([]*tensor.Matrix, m.NumHeads)
+	m.headOut = make([]*tensor.Matrix, m.NumHeads)
+	m.concat = tensor.New(x.Rows, m.DModel)
+	scale := 1 / math.Sqrt(float64(m.HeadDim))
+	for h := 0; h < m.NumHeads; h++ {
+		if !m.HeadMask[h] {
+			continue
+		}
+		qh := m.headSlice(m.q, h)
+		kh := m.headSlice(m.k, h)
+		vh := m.headSlice(m.v, h)
+		s := tensor.MatMulTransB(qh, kh)
+		s.Scale(scale)
+		s.SoftmaxRows()
+		m.attn[h] = s
+		oh := tensor.MatMul(s, vh)
+		m.headOut[h] = oh
+		m.headSliceAdd(m.concat, oh, h)
+	}
+	y := tensor.MatMul(m.concat, m.Wo.Value)
+	y.AddRowVector(m.Bo.Value.Data)
+	return y
+}
+
+// Backward accumulates parameter gradients (and head importances when
+// enabled) and returns dx.
+func (m *MHSA) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	tensor.AddInPlace(m.Wo.Grad, tensor.MatMulTransA(m.concat, dy))
+	for j, v := range dy.SumRows() {
+		m.Bo.Grad.Data[j] += v
+	}
+	dConcat := tensor.MatMulTransB(dy, m.Wo.Value)
+
+	dq := tensor.New(m.x.Rows, m.DModel)
+	dk := tensor.New(m.x.Rows, m.DModel)
+	dv := tensor.New(m.x.Rows, m.DModel)
+	scale := 1 / math.Sqrt(float64(m.HeadDim))
+	for h := 0; h < m.NumHeads; h++ {
+		if !m.HeadMask[h] {
+			continue
+		}
+		dOh := m.headSlice(dConcat, h)
+		if m.RecordImportance {
+			var s float64
+			for i, g := range dOh.Data {
+				s += g * m.headOut[h].Data[i]
+			}
+			m.HeadImportance[h] += math.Abs(s)
+		}
+		a := m.attn[h]
+		vh := m.headSlice(m.v, h)
+		qh := m.headSlice(m.q, h)
+		kh := m.headSlice(m.k, h)
+
+		dA := tensor.MatMulTransB(dOh, vh)
+		dVh := tensor.MatMulTransA(a, dOh)
+		// softmax backward, row-wise: dS = A ∘ (dA - rowsum(A∘dA))
+		dS := tensor.New(a.Rows, a.Cols)
+		for i := 0; i < a.Rows; i++ {
+			arow := a.Row(i)
+			darow := dA.Row(i)
+			var dot float64
+			for j := range arow {
+				dot += arow[j] * darow[j]
+			}
+			dsrow := dS.Row(i)
+			for j := range arow {
+				dsrow[j] = arow[j] * (darow[j] - dot)
+			}
+		}
+		dS.Scale(scale)
+		dQh := tensor.MatMul(dS, kh)
+		dKh := tensor.MatMulTransA(dS, qh)
+		m.headSliceAdd(dq, dQh, h)
+		m.headSliceAdd(dk, dKh, h)
+		m.headSliceAdd(dv, dVh, h)
+	}
+
+	tensor.AddInPlace(m.Wq.Grad, tensor.MatMulTransA(m.x, dq))
+	tensor.AddInPlace(m.Wk.Grad, tensor.MatMulTransA(m.x, dk))
+	tensor.AddInPlace(m.Wv.Grad, tensor.MatMulTransA(m.x, dv))
+
+	dx := tensor.MatMulTransB(dq, m.Wq.Value)
+	tensor.AddInPlace(dx, tensor.MatMulTransB(dk, m.Wk.Value))
+	tensor.AddInPlace(dx, tensor.MatMulTransB(dv, m.Wv.Value))
+	return dx
+}
+
+// ResetImportance zeroes accumulated head importances.
+func (m *MHSA) ResetImportance() {
+	for i := range m.HeadImportance {
+		m.HeadImportance[i] = 0
+	}
+}
+
+// Params implements Module.
+func (m *MHSA) Params() []*Param {
+	return []*Param{m.Wq, m.Wk, m.Wv, m.Wo, m.Bo}
+}
+
+// ActiveParamCount returns the parameter count attributable to unmasked
+// heads (projection columns of masked heads are considered removed).
+func (m *MHSA) ActiveParamCount() int {
+	frac := float64(m.ActiveHeads()) / float64(m.NumHeads)
+	qkv := 3 * m.DModel * m.DModel
+	out := m.DModel*m.DModel + m.DModel
+	return int(frac*float64(qkv)) + int(frac*float64(out))
+}

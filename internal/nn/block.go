@@ -1,0 +1,67 @@
+package nn
+
+import (
+	"math/rand"
+
+	"acme/internal/tensor"
+)
+
+// Block is a pre-norm Transformer encoder block:
+//
+//	x = x + MHSA(LN1(x))
+//	x = x + MLP(LN2(x))
+type Block struct {
+	LN1  *LayerNorm
+	Attn *MHSA
+	LN2  *LayerNorm
+	FFN  *MLP
+}
+
+// NewBlock returns a Transformer block with the given dimensions.
+func NewBlock(name string, dModel, numHeads, hidden int, rng *rand.Rand) *Block {
+	return &Block{
+		LN1:  NewLayerNorm(name+".ln1", dModel, rng),
+		Attn: NewMHSA(name+".attn", dModel, numHeads, rng),
+		LN2:  NewLayerNorm(name+".ln2", dModel, rng),
+		FFN:  NewMLP(name+".ffn", dModel, hidden, rng),
+	}
+}
+
+// Forward applies the block to x (seq × d).
+func (b *Block) Forward(x *tensor.Matrix) *tensor.Matrix {
+	h := tensor.Add(x, b.Attn.Forward(b.LN1.Forward(x)))
+	return tensor.Add(h, b.FFN.Forward(b.LN2.Forward(h)))
+}
+
+// Backward propagates dy through the block and returns dx.
+func (b *Block) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	dh := tensor.Add(dy, b.LN2.Backward(b.FFN.Backward(dy)))
+	return tensor.Add(dh, b.LN1.Backward(b.Attn.Backward(dh)))
+}
+
+// Params implements Module.
+func (b *Block) Params() []*Param {
+	ps := b.LN1.Params()
+	ps = append(ps, b.Attn.Params()...)
+	ps = append(ps, b.LN2.Params()...)
+	ps = append(ps, b.FFN.Params()...)
+	return ps
+}
+
+// ActiveParamCount returns the parameter count with masks applied.
+func (b *Block) ActiveParamCount() int {
+	return 4*b.LN1.Dim + b.Attn.ActiveParamCount() + b.FFN.ActiveParamCount()
+}
+
+// SetRecordImportance toggles Taylor importance accumulation for both the
+// attention heads and the MLP neurons of this block.
+func (b *Block) SetRecordImportance(on bool) {
+	b.Attn.RecordImportance = on
+	b.FFN.RecordImportance = on
+}
+
+// ResetImportance zeroes accumulated importances in this block.
+func (b *Block) ResetImportance() {
+	b.Attn.ResetImportance()
+	b.FFN.ResetImportance()
+}

@@ -1,0 +1,94 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Checkpoint is a serialized snapshot of a module's parameter values,
+// keyed by position and verified by name and shape on load.
+type Checkpoint struct {
+	Names  []string
+	Rows   []int
+	Cols   []int
+	Values [][]float64
+}
+
+// Snapshot captures the current parameter values of m.
+func Snapshot(m Module) Checkpoint {
+	params := m.Params()
+	cp := Checkpoint{
+		Names:  make([]string, len(params)),
+		Rows:   make([]int, len(params)),
+		Cols:   make([]int, len(params)),
+		Values: make([][]float64, len(params)),
+	}
+	for i, p := range params {
+		cp.Names[i] = p.Name
+		cp.Rows[i] = p.Value.Rows
+		cp.Cols[i] = p.Value.Cols
+		cp.Values[i] = append([]float64(nil), p.Value.Data...)
+	}
+	return cp
+}
+
+// Restore writes the checkpoint's values back into m. The module must
+// have the same parameter names and shapes in the same order.
+func Restore(m Module, cp Checkpoint) error {
+	params := m.Params()
+	if len(params) != len(cp.Names) {
+		return fmt.Errorf("nn: checkpoint has %d tensors, module has %d", len(cp.Names), len(params))
+	}
+	for i, p := range params {
+		if p.Name != cp.Names[i] {
+			return fmt.Errorf("nn: checkpoint tensor %d is %q, module has %q", i, cp.Names[i], p.Name)
+		}
+		if p.Value.Rows != cp.Rows[i] || p.Value.Cols != cp.Cols[i] {
+			return fmt.Errorf("nn: checkpoint tensor %q is %dx%d, module has %dx%d",
+				p.Name, cp.Rows[i], cp.Cols[i], p.Value.Rows, p.Value.Cols)
+		}
+		copy(p.Value.Data, cp.Values[i])
+	}
+	return nil
+}
+
+// WriteCheckpoint gob-encodes a snapshot of m to w.
+func WriteCheckpoint(w io.Writer, m Module) error {
+	if err := gob.NewEncoder(w).Encode(Snapshot(m)); err != nil {
+		return fmt.Errorf("nn: encode checkpoint: %w", err)
+	}
+	return nil
+}
+
+// ReadCheckpoint decodes a checkpoint from r and restores it into m.
+func ReadCheckpoint(r io.Reader, m Module) error {
+	var cp Checkpoint
+	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
+		return fmt.Errorf("nn: decode checkpoint: %w", err)
+	}
+	return Restore(m, cp)
+}
+
+// SaveCheckpoint writes m's parameters to path.
+func SaveCheckpoint(path string, m Module) error {
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, m); err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("nn: save checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads path into m.
+func LoadCheckpoint(path string, m Module) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("nn: load checkpoint: %w", err)
+	}
+	return ReadCheckpoint(bytes.NewReader(raw), m)
+}

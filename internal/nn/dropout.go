@@ -1,0 +1,58 @@
+package nn
+
+import (
+	"math/rand"
+
+	"acme/internal/tensor"
+)
+
+// Dropout zeroes each activation with probability P during training and
+// scales survivors by 1/(1−P) (inverted dropout), passing inputs
+// through unchanged in evaluation mode.
+type Dropout struct {
+	P     float64
+	Train bool
+	rng   *rand.Rand
+	mask  []bool
+}
+
+// NewDropout returns a dropout layer in training mode.
+func NewDropout(p float64, rng *rand.Rand) *Dropout {
+	return &Dropout{P: p, Train: true, rng: rng}
+}
+
+// Forward applies the dropout mask (training) or the identity (eval).
+func (d *Dropout) Forward(x *tensor.Matrix) *tensor.Matrix {
+	if !d.Train || d.P <= 0 {
+		d.mask = nil
+		return x
+	}
+	d.mask = make([]bool, len(x.Data))
+	y := tensor.New(x.Rows, x.Cols)
+	scale := 1 / (1 - d.P)
+	for i, v := range x.Data {
+		if d.rng.Float64() >= d.P {
+			d.mask[i] = true
+			y.Data[i] = v * scale
+		}
+	}
+	return y
+}
+
+// Backward routes gradients only through surviving activations.
+func (d *Dropout) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	if d.mask == nil {
+		return dy
+	}
+	dx := tensor.New(dy.Rows, dy.Cols)
+	scale := 1 / (1 - d.P)
+	for i, on := range d.mask {
+		if on {
+			dx.Data[i] = dy.Data[i] * scale
+		}
+	}
+	return dx
+}
+
+// Params implements Module.
+func (d *Dropout) Params() []*Param { return nil }

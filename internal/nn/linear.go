@@ -1,0 +1,49 @@
+package nn
+
+import (
+	"math/rand"
+
+	"acme/internal/tensor"
+)
+
+// Linear is a fully connected layer y = x·W + b applied row-wise to a
+// (seq × in) input.
+type Linear struct {
+	In, Out int
+	W       *Param // in × out
+	B       *Param // 1 × out
+
+	x *tensor.Matrix // cached input for backward
+}
+
+// NewLinear returns a Xavier-initialized Linear layer.
+func NewLinear(name string, in, out int, rng *rand.Rand) *Linear {
+	l := &Linear{
+		In:  in,
+		Out: out,
+		W:   NewParam(name+".w", in, out),
+		B:   NewParam(name+".b", 1, out),
+	}
+	l.W.InitXavier(rng, in, out)
+	return l
+}
+
+// Forward computes y = x·W + b.
+func (l *Linear) Forward(x *tensor.Matrix) *tensor.Matrix {
+	l.x = x
+	y := tensor.MatMul(x, l.W.Value)
+	y.AddRowVector(l.B.Value.Data)
+	return y
+}
+
+// Backward accumulates dW, dB and returns dx.
+func (l *Linear) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	tensor.AddInPlace(l.W.Grad, tensor.MatMulTransA(l.x, dy))
+	for j, v := range dy.SumRows() {
+		l.B.Grad.Data[j] += v
+	}
+	return tensor.MatMulTransB(dy, l.W.Value)
+}
+
+// Params implements Module.
+func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }

@@ -1,0 +1,138 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"acme/internal/tensor"
+)
+
+// Classifier maps a raw sample to class logits and supports
+// backpropagation from a logits gradient.
+type Classifier interface {
+	Module
+	Forward(x []float64) ([]float64, error)
+	Backward(dlogits []float64)
+}
+
+// BackboneClassifier pairs a Backbone with a linear head over the [CLS]
+// token — the θ₀ᴴ reference header of the paper and the model used to
+// pretrain the backbone on the public cloud dataset.
+type BackboneClassifier struct {
+	Backbone *Backbone
+	Head     *Linear
+
+	cls *tensor.Matrix // cached 1×d CLS representation
+}
+
+var _ Classifier = (*BackboneClassifier)(nil)
+
+// NewBackboneClassifier builds a classifier over backbone b.
+func NewBackboneClassifier(b *Backbone, numClasses int, rng *rand.Rand) *BackboneClassifier {
+	return &BackboneClassifier{
+		Backbone: b,
+		Head:     NewLinear("head", b.Cfg.DModel, numClasses, rng),
+	}
+}
+
+// Forward implements Classifier.
+func (c *BackboneClassifier) Forward(x []float64) ([]float64, error) {
+	f, err := c.Backbone.Forward(x)
+	if err != nil {
+		return nil, err
+	}
+	c.cls = tensor.FromSlice(1, f.Cols, append([]float64(nil), f.Row(0)...))
+	return c.Head.Forward(c.cls).Row(0), nil
+}
+
+// Backward implements Classifier.
+func (c *BackboneClassifier) Backward(dlogits []float64) {
+	dl := tensor.FromSlice(1, len(dlogits), dlogits)
+	dcls := c.Head.Backward(dl)
+	dFinal := tensor.New(c.Backbone.SeqLen(), c.Backbone.Cfg.DModel)
+	copy(dFinal.Row(0), dcls.Row(0))
+	c.Backbone.Backward(dFinal, nil)
+}
+
+// Params implements Module.
+func (c *BackboneClassifier) Params() []*Param {
+	return append(c.Backbone.Params(), c.Head.Params()...)
+}
+
+// TrainEpoch runs one epoch of minibatch training on (xs, ys), shuffling
+// with rng, and returns the mean loss. Gradients accumulate over each
+// minibatch before a single optimizer step.
+func TrainEpoch(c Classifier, opt Optimizer, xs [][]float64, ys []int, batch int, rng *rand.Rand) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("nn: %d samples vs %d labels", len(xs), len(ys))
+	}
+	if len(xs) == 0 {
+		return 0, nil
+	}
+	if batch <= 0 {
+		batch = 16
+	}
+	order := rng.Perm(len(xs))
+	var total float64
+	for start := 0; start < len(order); start += batch {
+		end := start + batch
+		if end > len(order) {
+			end = len(order)
+		}
+		ZeroGrads(c)
+		for _, i := range order[start:end] {
+			logits, err := c.Forward(xs[i])
+			if err != nil {
+				return 0, err
+			}
+			loss, dl := CrossEntropy(logits, ys[i])
+			total += loss
+			scaleVec(dl, 1/float64(end-start))
+			c.Backward(dl)
+		}
+		opt.Step(c.Params())
+	}
+	return total / float64(len(xs)), nil
+}
+
+// Evaluate returns top-1 accuracy of c on (xs, ys).
+func Evaluate(c Classifier, xs [][]float64, ys []int) (float64, error) {
+	if len(xs) == 0 {
+		return 0, nil
+	}
+	var correct int
+	for i, x := range xs {
+		logits, err := c.Forward(x)
+		if err != nil {
+			return 0, err
+		}
+		if Argmax(logits) == ys[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(xs)), nil
+}
+
+// MeanLoss returns the mean cross-entropy of c on (xs, ys) without
+// touching gradients.
+func MeanLoss(c Classifier, xs [][]float64, ys []int) (float64, error) {
+	if len(xs) == 0 {
+		return 0, nil
+	}
+	var total float64
+	for i, x := range xs {
+		logits, err := c.Forward(x)
+		if err != nil {
+			return 0, err
+		}
+		loss, _ := CrossEntropy(logits, ys[i])
+		total += loss
+	}
+	return total / float64(len(xs)), nil
+}
+
+func scaleVec(v []float64, s float64) {
+	for i := range v {
+		v[i] *= s
+	}
+}

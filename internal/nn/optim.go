@@ -1,0 +1,120 @@
+package nn
+
+import "math"
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update to every parameter and zeroes gradients.
+	Step(params []*Param)
+}
+
+// SGD is stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	Clip     float64 // max gradient L2 norm per parameter tensor; 0 disables
+
+	velocity map[*Param][]float64
+}
+
+var _ Optimizer = (*SGD)(nil)
+
+// NewSGD returns an SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, velocity: make(map[*Param][]float64)}
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step(params []*Param) {
+	for _, p := range params {
+		g := p.Grad.Data
+		clipNorm(g, s.Clip)
+		if s.Momentum == 0 {
+			for i := range g {
+				p.Value.Data[i] -= s.LR * g[i]
+			}
+		} else {
+			v, ok := s.velocity[p]
+			if !ok {
+				v = make([]float64, len(g))
+				s.velocity[p] = v
+			}
+			for i := range g {
+				v[i] = s.Momentum*v[i] + g[i]
+				p.Value.Data[i] -= s.LR * v[i]
+			}
+		}
+		p.ZeroGrad()
+	}
+}
+
+// Adam is the Adam optimizer with bias correction.
+type Adam struct {
+	LR           float64
+	Beta1, Beta2 float64
+	Eps          float64
+	Clip         float64 // max gradient L2 norm per parameter tensor; 0 disables
+
+	t int
+	m map[*Param][]float64
+	v map[*Param][]float64
+}
+
+var _ Optimizer = (*Adam)(nil)
+
+// NewAdam returns an Adam optimizer with standard betas.
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR:    lr,
+		Beta1: 0.9,
+		Beta2: 0.999,
+		Eps:   1e-8,
+		Clip:  5,
+		m:     make(map[*Param][]float64),
+		v:     make(map[*Param][]float64),
+	}
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(params []*Param) {
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		g := p.Grad.Data
+		clipNorm(g, a.Clip)
+		m, ok := a.m[p]
+		if !ok {
+			m = make([]float64, len(g))
+			a.m[p] = m
+			a.v[p] = make([]float64, len(g))
+		}
+		v := a.v[p]
+		for i := range g {
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g[i]
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g[i]*g[i]
+			mh := m[i] / bc1
+			vh := v[i] / bc2
+			p.Value.Data[i] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+		}
+		p.ZeroGrad()
+	}
+}
+
+func clipNorm(g []float64, maxNorm float64) {
+	if maxNorm <= 0 {
+		return
+	}
+	var s float64
+	for _, v := range g {
+		s += v * v
+	}
+	n := math.Sqrt(s)
+	if n <= maxNorm {
+		return
+	}
+	scale := maxNorm / n
+	for i := range g {
+		g[i] *= scale
+	}
+}

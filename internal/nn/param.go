@@ -1,0 +1,78 @@
+// Package nn implements a small, dependency-free neural-network stack
+// with manual backpropagation: linear layers, layer normalization,
+// multi-head self-attention with per-head masks, MLPs with per-neuron
+// masks, 1-D convolutions and poolings over token sequences, losses, and
+// SGD/Adam optimizers.
+//
+// The stack is sized for CPU-trainable micro-Transformers (d_model tens,
+// a handful of layers). It exists so ACME's pruning, distillation,
+// importance-estimation and NAS code paths run on a real trainable model
+// rather than a mock; the paper-scale (ViT-B) numbers come from
+// internal/surrogate.
+//
+// All layers operate on a single sample: a token sequence represented as
+// a (seq × d) tensor.Matrix. Batches are loops over samples with gradient
+// accumulation, which is plenty at this scale and keeps backward passes
+// easy to audit.
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"acme/internal/tensor"
+)
+
+// Param is a trainable tensor with its accumulated gradient.
+type Param struct {
+	Name  string
+	Value *tensor.Matrix
+	Grad  *tensor.Matrix
+}
+
+// NewParam allocates a named r×c parameter with a zeroed gradient.
+func NewParam(name string, r, c int) *Param {
+	return &Param{
+		Name:  name,
+		Value: tensor.New(r, c),
+		Grad:  tensor.New(r, c),
+	}
+}
+
+// InitXavier fills p with Xavier/Glorot-normal values for fanIn/fanOut.
+func (p *Param) InitXavier(rng *rand.Rand, fanIn, fanOut int) {
+	std := math.Sqrt(2.0 / float64(fanIn+fanOut))
+	p.Value.Randomize(rng, std)
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// NumParams returns the number of scalar parameters in p.
+func (p *Param) NumParams() int { return len(p.Value.Data) }
+
+// Clone returns a deep copy of p (value and gradient).
+func (p *Param) Clone() *Param {
+	return &Param{Name: p.Name, Value: p.Value.Clone(), Grad: p.Grad.Clone()}
+}
+
+// Module is anything that owns trainable parameters.
+type Module interface {
+	Params() []*Param
+}
+
+// ZeroGrads clears gradients of every parameter in m.
+func ZeroGrads(m Module) {
+	for _, p := range m.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// CountParams sums the scalar parameter count of m.
+func CountParams(m Module) int {
+	var n int
+	for _, p := range m.Params() {
+		n += p.NumParams()
+	}
+	return n
+}

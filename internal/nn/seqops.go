@@ -1,0 +1,293 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"acme/internal/tensor"
+)
+
+// SeqOp is a shape-preserving operation over a token sequence
+// (seq × d) → (seq × d). These are the candidate operations of the NAS
+// header search space; keeping them shape-preserving means any two block
+// outputs can always be combined by element-wise addition (the paper
+// constrains the combiner to addition and inserts 1×1 convolutions for
+// mismatches — shape-preserving ops make that insertion implicit).
+type SeqOp interface {
+	Module
+	Forward(x *tensor.Matrix) *tensor.Matrix
+	Backward(dy *tensor.Matrix) *tensor.Matrix
+}
+
+// Conv1D is a same-padded convolution over the token axis with d input
+// and d output channels.
+type Conv1D struct {
+	Kernel, Dim int
+	W           *Param // (kernel*d) × d
+	B           *Param // 1 × d
+
+	cols *tensor.Matrix // im2col cache: seq × (kernel*d)
+}
+
+var _ SeqOp = (*Conv1D)(nil)
+
+// NewConv1D returns a Xavier-initialized convolution with the given odd
+// kernel size.
+func NewConv1D(name string, kernel, dim int, rng *rand.Rand) *Conv1D {
+	c := &Conv1D{
+		Kernel: kernel,
+		Dim:    dim,
+		W:      NewParam(name+".w", kernel*dim, dim),
+		B:      NewParam(name+".b", 1, dim),
+	}
+	c.W.InitXavier(rng, kernel*dim, dim)
+	return c
+}
+
+// Forward applies the convolution with zero padding.
+func (c *Conv1D) Forward(x *tensor.Matrix) *tensor.Matrix {
+	seq := x.Rows
+	half := c.Kernel / 2
+	c.cols = tensor.New(seq, c.Kernel*c.Dim)
+	for t := 0; t < seq; t++ {
+		dst := c.cols.Row(t)
+		for k := 0; k < c.Kernel; k++ {
+			src := t + k - half
+			if src < 0 || src >= seq {
+				continue
+			}
+			copy(dst[k*c.Dim:(k+1)*c.Dim], x.Row(src))
+		}
+	}
+	y := tensor.MatMul(c.cols, c.W.Value)
+	y.AddRowVector(c.B.Value.Data)
+	return y
+}
+
+// Backward accumulates gradients and returns dx.
+func (c *Conv1D) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	tensor.AddInPlace(c.W.Grad, tensor.MatMulTransA(c.cols, dy))
+	for j, v := range dy.SumRows() {
+		c.B.Grad.Data[j] += v
+	}
+	dcols := tensor.MatMulTransB(dy, c.W.Value)
+	seq := dy.Rows
+	half := c.Kernel / 2
+	dx := tensor.New(seq, c.Dim)
+	for t := 0; t < seq; t++ {
+		row := dcols.Row(t)
+		for k := 0; k < c.Kernel; k++ {
+			src := t + k - half
+			if src < 0 || src >= seq {
+				continue
+			}
+			tensor.Axpy(1, row[k*c.Dim:(k+1)*c.Dim], dx.Row(src))
+		}
+	}
+	return dx
+}
+
+// Params implements Module.
+func (c *Conv1D) Params() []*Param { return []*Param{c.W, c.B} }
+
+// Identity passes its input through unchanged.
+type Identity struct{}
+
+var _ SeqOp = (*Identity)(nil)
+
+// Forward returns x.
+func (Identity) Forward(x *tensor.Matrix) *tensor.Matrix { return x }
+
+// Backward returns dy.
+func (Identity) Backward(dy *tensor.Matrix) *tensor.Matrix { return dy }
+
+// Params implements Module.
+func (Identity) Params() []*Param { return nil }
+
+// AvgPool1D is a same-padded average pooling over the token axis.
+type AvgPool1D struct {
+	Window int
+	seq    int
+}
+
+var _ SeqOp = (*AvgPool1D)(nil)
+
+// Forward averages each window of rows.
+func (p *AvgPool1D) Forward(x *tensor.Matrix) *tensor.Matrix {
+	p.seq = x.Rows
+	return poolAvg(x, p.Window)
+}
+
+// Backward spreads each output gradient uniformly over its window.
+func (p *AvgPool1D) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	half := p.Window / 2
+	dx := tensor.New(dy.Rows, dy.Cols)
+	for t := 0; t < dy.Rows; t++ {
+		lo, hi := t-half, t+half
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= p.seq {
+			hi = p.seq - 1
+		}
+		inv := 1 / float64(hi-lo+1)
+		row := dy.Row(t)
+		for s := lo; s <= hi; s++ {
+			tensor.Axpy(inv, row, dx.Row(s))
+		}
+	}
+	return dx
+}
+
+// Params implements Module.
+func (p *AvgPool1D) Params() []*Param { return nil }
+
+// MaxPool1D is a same-padded max pooling over the token axis.
+type MaxPool1D struct {
+	Window int
+	argmax []int // flattened (t*d + j) -> source row
+	dim    int
+}
+
+var _ SeqOp = (*MaxPool1D)(nil)
+
+// Forward takes the per-channel max over each window of rows.
+func (p *MaxPool1D) Forward(x *tensor.Matrix) *tensor.Matrix {
+	half := p.Window / 2
+	p.dim = x.Cols
+	p.argmax = make([]int, x.Rows*x.Cols)
+	y := tensor.New(x.Rows, x.Cols)
+	for t := 0; t < x.Rows; t++ {
+		lo, hi := t-half, t+half
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= x.Rows {
+			hi = x.Rows - 1
+		}
+		yr := y.Row(t)
+		for j := 0; j < x.Cols; j++ {
+			best, bi := math.Inf(-1), lo
+			for s := lo; s <= hi; s++ {
+				if v := x.At(s, j); v > best {
+					best, bi = v, s
+				}
+			}
+			yr[j] = best
+			p.argmax[t*x.Cols+j] = bi
+		}
+	}
+	return y
+}
+
+// Backward routes each gradient to its argmax source.
+func (p *MaxPool1D) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	dx := tensor.New(dy.Rows, dy.Cols)
+	for t := 0; t < dy.Rows; t++ {
+		row := dy.Row(t)
+		for j, v := range row {
+			src := p.argmax[t*p.dim+j]
+			dx.Row(src)[j] += v
+		}
+	}
+	return dx
+}
+
+// Params implements Module.
+func (p *MaxPool1D) Params() []*Param { return nil }
+
+// Downsample halves the token resolution with stride-2 averaging, then
+// repeats rows back to the original length, giving a coarse, shape-
+// preserving downsampling operation.
+type Downsample struct {
+	seq int
+}
+
+var _ SeqOp = (*Downsample)(nil)
+
+// Forward averages row pairs and duplicates them back out.
+func (d *Downsample) Forward(x *tensor.Matrix) *tensor.Matrix {
+	d.seq = x.Rows
+	y := tensor.New(x.Rows, x.Cols)
+	for t := 0; t < x.Rows; t += 2 {
+		hi := t + 1
+		if hi >= x.Rows {
+			hi = x.Rows - 1
+		}
+		yr := y.Row(t)
+		for j := 0; j < x.Cols; j++ {
+			yr[j] = 0.5 * (x.At(t, j) + x.At(hi, j))
+		}
+		if hi != t {
+			copy(y.Row(hi), yr)
+		}
+	}
+	return y
+}
+
+// Backward distributes gradients back through the average+repeat.
+func (d *Downsample) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	dx := tensor.New(dy.Rows, dy.Cols)
+	for t := 0; t < dy.Rows; t += 2 {
+		hi := t + 1
+		if hi >= dy.Rows {
+			hi = dy.Rows - 1
+		}
+		for j := 0; j < dy.Cols; j++ {
+			g := dy.At(t, j)
+			if hi != t {
+				g += dy.At(hi, j)
+				dx.Row(t)[j] += 0.5 * g
+				dx.Row(hi)[j] += 0.5 * g
+			} else {
+				// The last row paired with itself: y = 0.5·(x+x) = x.
+				dx.Row(t)[j] += g
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Module.
+func (d *Downsample) Params() []*Param { return nil }
+
+// LayerNormOp adapts LayerNorm to the SeqOp interface.
+type LayerNormOp struct {
+	LN *LayerNorm
+}
+
+var _ SeqOp = (*LayerNormOp)(nil)
+
+// NewLayerNormOp returns a LayerNorm sequence operation.
+func NewLayerNormOp(name string, dim int, rng *rand.Rand) *LayerNormOp {
+	return &LayerNormOp{LN: NewLayerNorm(name, dim, rng)}
+}
+
+// Forward implements SeqOp.
+func (o *LayerNormOp) Forward(x *tensor.Matrix) *tensor.Matrix { return o.LN.Forward(x) }
+
+// Backward implements SeqOp.
+func (o *LayerNormOp) Backward(dy *tensor.Matrix) *tensor.Matrix { return o.LN.Backward(dy) }
+
+// Params implements Module.
+func (o *LayerNormOp) Params() []*Param { return o.LN.Params() }
+
+func poolAvg(x *tensor.Matrix, window int) *tensor.Matrix {
+	half := window / 2
+	y := tensor.New(x.Rows, x.Cols)
+	for t := 0; t < x.Rows; t++ {
+		lo, hi := t-half, t+half
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= x.Rows {
+			hi = x.Rows - 1
+		}
+		inv := 1 / float64(hi-lo+1)
+		yr := y.Row(t)
+		for s := lo; s <= hi; s++ {
+			tensor.Axpy(inv, x.Row(s), yr)
+		}
+	}
+	return y
+}

@@ -1,0 +1,109 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"acme/internal/tensor"
+)
+
+func randSeq(rng *rand.Rand, rows, cols int) *tensor.Matrix {
+	m := tensor.New(rows, cols)
+	m.Randomize(rng, 1)
+	return m
+}
+
+// TestPoolsPreserveConstants: pooling a constant sequence returns the
+// same constant.
+func TestPoolsPreserveConstants(t *testing.T) {
+	x := tensor.New(6, 4)
+	x.Fill(3.5)
+	for name, op := range map[string]SeqOp{
+		"avg":  &AvgPool1D{Window: 3},
+		"max":  &MaxPool1D{Window: 3},
+		"down": &Downsample{},
+	} {
+		y := op.Forward(x)
+		for _, v := range y.Data {
+			if math.Abs(v-3.5) > 1e-12 {
+				t.Fatalf("%s pool changed a constant input: %v", name, v)
+			}
+		}
+	}
+}
+
+// TestMaxPoolDominatesAvgPool: per element, max over a window is ≥ the
+// average over the same window.
+func TestMaxPoolDominatesAvgPool(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := randSeq(rng, 2+rng.Intn(8), 1+rng.Intn(6))
+		maxY := (&MaxPool1D{Window: 3}).Forward(x)
+		avgY := (&AvgPool1D{Window: 3}).Forward(x)
+		for i := range maxY.Data {
+			if maxY.Data[i] < avgY.Data[i]-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSeqOpsShapePreserving: every NAS candidate op maps (seq × d) to
+// (seq × d) — the invariant that makes element-wise block combination
+// always valid.
+func TestSeqOpsShapePreserving(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ops := []SeqOp{
+		Identity{},
+		&AvgPool1D{Window: 3},
+		&MaxPool1D{Window: 3},
+		&Downsample{},
+		NewConv1D("c", 5, 6, rng),
+		NewLayerNormOp("l", 6, rng),
+		NewMHSA("m", 6, 2, rng),
+		NewMLP("p", 6, 8, rng),
+	}
+	for _, rows := range []int{1, 2, 5, 9} {
+		x := randSeq(rng, rows, 6)
+		for i, op := range ops {
+			y := op.Forward(x)
+			if y.Rows != rows || y.Cols != 6 {
+				t.Fatalf("op %d maps %dx6 to %dx%d", i, rows, y.Rows, y.Cols)
+			}
+		}
+	}
+}
+
+// TestIdentityBackwardIsIdentity.
+func TestIdentityBackwardIsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := randSeq(rng, 3, 4)
+	op := Identity{}
+	if op.Forward(x) != x {
+		t.Fatal("identity forward must return its input")
+	}
+	dy := randSeq(rng, 3, 4)
+	if op.Backward(dy) != dy {
+		t.Fatal("identity backward must return its input")
+	}
+}
+
+// TestDownsamplePairsRows: row 2k and 2k+1 of the output are equal.
+func TestDownsamplePairsRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := randSeq(rng, 6, 4)
+	y := (&Downsample{}).Forward(x)
+	for r := 0; r+1 < y.Rows; r += 2 {
+		for j := 0; j < y.Cols; j++ {
+			if y.At(r, j) != y.At(r+1, j) {
+				t.Fatalf("rows %d and %d differ after downsample", r, r+1)
+			}
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package pareto
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExactFrontNonDominated(t *testing.T) {
+	cands := syntheticCandidates()
+	front := ExactFront(cands)
+	if len(front) == 0 {
+		t.Fatal("empty exact front")
+	}
+	for _, i := range front {
+		for j := range cands {
+			if i != j && dominates(cands[j], cands[i]) {
+				t.Fatalf("front member %d dominated by %d", i, j)
+			}
+		}
+	}
+	// Every non-front candidate must be dominated by someone.
+	inFront := map[int]bool{}
+	for _, i := range front {
+		inFront[i] = true
+	}
+	for i := range cands {
+		if inFront[i] {
+			continue
+		}
+		dominated := false
+		for j := range cands {
+			if i != j && dominates(cands[j], cands[i]) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			t.Fatalf("candidate %d missing from the exact front", i)
+		}
+	}
+}
+
+func TestHypervolumeSinglePoint(t *testing.T) {
+	pool := []Candidate{
+		{Loss: 0, Energy: 0, Size: 0},
+		{Loss: 1, Energy: 1, Size: 1},
+	}
+	// The ideal corner dominates everything: hypervolume 1.
+	if hv := Hypervolume([]int{0}, pool); math.Abs(hv-1) > 1e-9 {
+		t.Fatalf("ideal-point hypervolume %v want 1", hv)
+	}
+	// The worst corner dominates nothing.
+	if hv := Hypervolume([]int{1}, pool); hv != 0 {
+		t.Fatalf("worst-point hypervolume %v want 0", hv)
+	}
+}
+
+func TestHypervolumeMidPoint(t *testing.T) {
+	pool := []Candidate{
+		{Loss: 0, Energy: 0, Size: 0},
+		{Loss: 1, Energy: 1, Size: 1},
+		{Loss: 0.5, Energy: 0.5, Size: 0.5},
+	}
+	if hv := Hypervolume([]int{2}, pool); math.Abs(hv-0.125) > 1e-9 {
+		t.Fatalf("midpoint hypervolume %v want 0.125", hv)
+	}
+}
+
+// TestHypervolumeMonotone: adding points never decreases hypervolume.
+func TestHypervolumeMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pool := make([]Candidate, 12)
+		for i := range pool {
+			pool[i] = Candidate{
+				Loss:   rng.Float64(),
+				Energy: rng.Float64(),
+				Size:   rng.Float64(),
+			}
+		}
+		subset := []int{0, 1, 2, 3}
+		larger := []int{0, 1, 2, 3, 4, 5, 6}
+		return Hypervolume(larger, pool) >= Hypervolume(subset, pool)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGridFrontNearExactFront: the PFG approximates the exact front —
+// its hypervolume must be close (grid resolution K bounds the loss).
+func TestGridFrontNearExactFront(t *testing.T) {
+	cands := syntheticCandidates()
+	g, err := Build(cands, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := ExactFront(cands)
+	hvExact := Hypervolume(exact, cands)
+	hvGrid := Hypervolume(g.Front, cands)
+	if hvExact <= 0 {
+		t.Fatal("degenerate exact front")
+	}
+	if hvGrid < 0.85*hvExact {
+		t.Fatalf("grid front hypervolume %.4f below 85%% of exact %.4f", hvGrid, hvExact)
+	}
+	if hvGrid > hvExact+1e-9 {
+		t.Fatalf("grid front hypervolume %.4f exceeds exact %.4f", hvGrid, hvExact)
+	}
+}
+
+func TestHypervolumeEmpty(t *testing.T) {
+	if hv := Hypervolume(nil, syntheticCandidates()); hv != 0 {
+		t.Fatalf("empty subset hypervolume %v", hv)
+	}
+}

@@ -1,0 +1,193 @@
+package prune
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"acme/internal/data"
+	"acme/internal/nn"
+)
+
+func setup(t *testing.T, seed int64) (*nn.BackboneClassifier, *data.Dataset, *rand.Rand) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	spec := data.Spec{
+		Name: "prune-test", NumClasses: 8, NumSuper: 2, Dim: 16,
+		SuperSep: 3, ClassSep: 1, WithinStd: 0.5,
+	}
+	gen, err := data.NewGenerator(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	public := gen.Sample(120, nil, rng)
+	bb, err := nn.NewBackbone(nn.BackboneConfig{
+		InputDim: 16, NumPatches: 4, DModel: 8, NumHeads: 2, Hidden: 12, Depth: 3,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := nn.NewBackboneClassifier(bb, 8, rng)
+	opt := nn.NewAdam(1e-3)
+	for e := 0; e < 3; e++ {
+		if _, err := nn.TrainEpoch(ref, opt, public.X, public.Y, 16, rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ref, public, rng
+}
+
+func TestGenerateProducesRequestedShape(t *testing.T) {
+	ref, public, rng := setup(t, 1)
+	g := NewGenerator(ref, public, DefaultDistillConfig())
+	student, err := g.Generate(0.5, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb := student.Backbone
+	if sb.ActiveDepth != 2 {
+		t.Fatalf("depth %d want 2", sb.ActiveDepth)
+	}
+	for l := 0; l < sb.ActiveDepth; l++ {
+		if sb.Blocks[l].Attn.ActiveHeads() != 1 {
+			t.Fatalf("block %d has %d heads, want 1", l, sb.Blocks[l].Attn.ActiveHeads())
+		}
+		if got := sb.Blocks[l].FFN.ActiveNeurons(); got != 6 {
+			t.Fatalf("block %d has %d neurons, want 6", l, got)
+		}
+	}
+	if sb.ActiveParamCount() >= ref.Backbone.ActiveParamCount() {
+		t.Fatal("student not smaller than reference")
+	}
+}
+
+func TestGenerateDoesNotMutateReference(t *testing.T) {
+	ref, public, rng := setup(t, 2)
+	before := ref.Backbone.ActiveParamCount()
+	snapshot := ref.Backbone.Params()[3].Value.Clone()
+	g := NewGenerator(ref, public, DefaultDistillConfig())
+	if _, err := g.Generate(0.5, 1, rng); err != nil {
+		t.Fatal(err)
+	}
+	if ref.Backbone.ActiveParamCount() != before {
+		t.Fatal("reference masks mutated")
+	}
+	after := ref.Backbone.Params()[3].Value
+	for i := range snapshot.Data {
+		if snapshot.Data[i] != after.Data[i] {
+			t.Fatal("reference weights mutated")
+		}
+	}
+}
+
+func TestDistillationImprovesStudent(t *testing.T) {
+	ref, public, _ := setup(t, 3)
+
+	cfgOff := DefaultDistillConfig()
+	cfgOff.Epochs = 0
+	raw, err := NewGenerator(ref, public, cfgOff).Generate(0.5, 1, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgOn := DefaultDistillConfig()
+	cfgOn.Epochs = 3
+	distilled, err := NewGenerator(ref, public, cfgOn).Generate(0.5, 1, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lossRaw, err := nn.MeanLoss(raw, public.X, public.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossDistilled, err := nn.MeanLoss(distilled, public.X, public.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lossDistilled >= lossRaw {
+		t.Fatalf("distillation did not reduce loss: %.4f vs %.4f", lossDistilled, lossRaw)
+	}
+}
+
+func TestGenerateInvalidArgs(t *testing.T) {
+	ref, public, rng := setup(t, 4)
+	g := NewGenerator(ref, public, DefaultDistillConfig())
+	if _, err := g.Generate(0, 1, rng); err == nil {
+		t.Fatal("width 0 accepted")
+	}
+	if _, err := g.Generate(1.5, 1, rng); err == nil {
+		t.Fatal("width > 1 accepted")
+	}
+	if _, err := g.Generate(0.5, 99, rng); err == nil {
+		t.Fatal("depth beyond reference accepted")
+	}
+}
+
+func TestEnsureImportanceIdempotent(t *testing.T) {
+	ref, public, rng := setup(t, 5)
+	g := NewGenerator(ref, public, DefaultDistillConfig())
+	if err := g.EnsureImportance(64, rng); err != nil {
+		t.Fatal(err)
+	}
+	imp := append([]float64(nil), ref.Backbone.Blocks[0].Attn.HeadImportance...)
+	if err := g.EnsureImportance(64, rng); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range ref.Backbone.Blocks[0].Attn.HeadImportance {
+		if v != imp[i] {
+			t.Fatal("second EnsureImportance recomputed importances")
+		}
+	}
+}
+
+func TestSoftKLGradProperties(t *testing.T) {
+	student := []float64{1, 2, 3}
+	teacher := []float64{1, 2, 3}
+	kl, grad := softKLGrad(student, teacher, 2)
+	if kl > 1e-12 {
+		t.Fatalf("KL of identical logits = %v", kl)
+	}
+	for _, g := range grad {
+		if math.Abs(g) > 1e-12 {
+			t.Fatal("gradient of identical logits must be zero")
+		}
+	}
+	// Gradient components sum to zero (both softmaxes sum to 1).
+	_, grad = softKLGrad([]float64{3, 0, -1}, []float64{0, 3, 1}, 2)
+	var sum float64
+	for _, g := range grad {
+		sum += g
+	}
+	if math.Abs(sum) > 1e-12 {
+		t.Fatalf("gradient sums to %v", sum)
+	}
+}
+
+func TestKLDistillationAlsoImproves(t *testing.T) {
+	ref, public, _ := setup(t, 6)
+	cfgOff := DefaultDistillConfig()
+	cfgOff.Epochs = 0
+	raw, err := NewGenerator(ref, public, cfgOff).Generate(0.5, 1, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgKL := DefaultDistillConfig()
+	cfgKL.Epochs = 3
+	cfgKL.UseKL = true
+	cfgKL.Temperature = 2
+	kl, err := NewGenerator(ref, public, cfgKL).Generate(0.5, 1, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossRaw, err := nn.MeanLoss(raw, public.X, public.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossKL, err := nn.MeanLoss(kl, public.X, public.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lossKL >= lossRaw {
+		t.Fatalf("KL distillation did not reduce loss: %.4f vs %.4f", lossKL, lossRaw)
+	}
+}

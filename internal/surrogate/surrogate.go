@@ -1,0 +1,285 @@
+// Package surrogate provides the calibrated analytic accuracy model
+// used to reproduce the paper's ViT-B-scale results (Figs. 1, 7–9,
+// 12–13 and Table I's scale factors). Training ViT-B variants on a V100
+// is the hardware gate of this reproduction; the surrogate replaces the
+// measured accuracy surface with a closed form whose qualitative
+// structure matches the paper's findings:
+//
+//   - accuracy is monotone-saturating in capacity ζ(w,d) with a mild
+//     overfitting dip at the largest sizes (Fig. 1a: "increasing the
+//     model size does not necessarily correlate with performance
+//     gains");
+//   - at fixed size, the (w,d) aspect mix moves accuracy by up to
+//     ~4.9 % (Fig. 1b);
+//   - headers complement backbones: complex headers help simple
+//     backbones (+9 %) and hurt complex ones, with NAS headers best
+//     everywhere (Figs. 7b, 8, 12);
+//   - the harder Stanford-Cars-like dataset lowers the base accuracy
+//     and roughly doubles the header effect (Fig. 13).
+//
+// Calibration anchors from the paper are recorded next to each
+// constant. Absolute values are not claimed to match the testbed; the
+// orderings, gaps and crossovers are.
+package surrogate
+
+import (
+	"math"
+
+	"acme/internal/energy"
+)
+
+// DatasetParams calibrates the surface for one dataset.
+type DatasetParams struct {
+	Name string
+	// AccMax is the accuracy of the full reference model with the best
+	// header.
+	AccMax float64
+	// CapacityScale ζ₀ sets how fast accuracy saturates with parameters.
+	CapacityScale float64
+	// OverfitDip is the relative accuracy lost at full size (Fig. 1a's
+	// flattening/decline).
+	OverfitDip float64
+	// AspectSpread is the max relative accuracy spread among same-size
+	// architectures (Fig. 1b: up to 4.9 %).
+	AspectSpread float64
+	// HeaderGain scales all header effects (Cars ≈ 1.6× CIFAR per
+	// Fig. 13b's +14.43 % vs +9.02 %).
+	HeaderGain float64
+}
+
+// CIFAR100 returns the CIFAR-100 calibration.
+func CIFAR100() DatasetParams {
+	return DatasetParams{
+		Name:          "cifar100",
+		AccMax:        0.91, // ViT-B fine-tuned on CIFAR-100
+		CapacityScale: 10e6,
+		OverfitDip:    0.035, // Fig. 1a: accuracy flattens then declines at the top
+		AspectSpread:  0.049, // Fig. 1b: up to 4.9% spread
+		HeaderGain:    1.0,
+	}
+}
+
+// StanfordCars returns the Stanford Cars calibration: a harder,
+// finer-grained dataset.
+func StanfordCars() DatasetParams {
+	return DatasetParams{
+		Name:          "cars",
+		AccMax:        0.86,
+		CapacityScale: 13e6,
+		OverfitDip:    0.04,
+		AspectSpread:  0.055,
+		HeaderGain:    1.6, // Fig. 13b: +14.43% vs +9.02% on CIFAR
+	}
+}
+
+// HeaderKind identifies the header families compared in Figs. 7b/8.
+type HeaderKind int
+
+// Header families.
+const (
+	HeaderNAS HeaderKind = iota + 1
+	HeaderLinear
+	HeaderMLP
+	HeaderCNN
+	HeaderPool
+)
+
+// String implements fmt.Stringer.
+func (k HeaderKind) String() string {
+	switch k {
+	case HeaderNAS:
+		return "nas"
+	case HeaderLinear:
+		return "linear"
+	case HeaderMLP:
+		return "mlp"
+	case HeaderCNN:
+		return "cnn"
+	case HeaderPool:
+		return "pool"
+	default:
+		return "unknown"
+	}
+}
+
+// HeaderSpec describes a header for the accuracy model.
+type HeaderSpec struct {
+	Kind    HeaderKind
+	Blocks  int // B, for NAS headers
+	Repeats int // U, for NAS headers
+}
+
+// Model is the calibrated accuracy/energy surface.
+type Model struct {
+	Arch    energy.Arch
+	Dataset DatasetParams
+}
+
+// New returns a surrogate over the ViT-B architecture constants.
+func New(ds DatasetParams) *Model {
+	return &Model{Arch: energy.ViTBase(), Dataset: ds}
+}
+
+// ParamCount returns ζ(w, d) in parameters.
+func (m *Model) ParamCount(w float64, d int) float64 {
+	return m.Arch.ParamCount(w, d)
+}
+
+// HeaderParams approximates the parameter count of a header.
+func (m *Model) HeaderParams(h HeaderSpec) float64 {
+	dModel := float64(m.Arch.HiddenDim)
+	switch h.Kind {
+	case HeaderLinear, HeaderPool:
+		return dModel * 100 // linear probe to 100 classes
+	case HeaderMLP:
+		return dModel*512 + 512*100
+	case HeaderCNN:
+		return 3*dModel*dModel + dModel*100
+	default: // NAS
+		// Headers operate at a reduced channel width (|θᴴ| ≪ |θᴮ|): a
+		// projection to dModel/4 channels, ~one k=3 convolution per
+		// block per repeat, then the pooled classifier MLP.
+		b, u := h.Blocks, h.Repeats
+		if b <= 0 {
+			b = 4
+		}
+		if u <= 0 {
+			u = 1
+		}
+		hw := dModel / 4
+		return dModel*hw + float64(b*u)*3*hw*hw + 2*hw*512 + 512*100
+	}
+}
+
+// capacity is the saturating size→accuracy curve with an overfitting
+// dip near full size.
+func (m *Model) capacity(zeta float64) float64 {
+	sat := 1 - math.Exp(-zeta/m.Dataset.CapacityScale)
+	full := m.ParamCount(1, m.Arch.MaxDepth)
+	dip := m.Dataset.OverfitDip * (zeta / full) * (zeta / full)
+	return sat - dip
+}
+
+// aspectPenalty models Fig. 1b: at fixed ζ, very wide-shallow or
+// narrow-deep mixes lose up to AspectSpread relative accuracy. aspect=1
+// (balanced scaling) is best.
+func (m *Model) aspectPenalty(w float64, d int) float64 {
+	balance := math.Abs(math.Log((w * float64(m.Arch.MaxDepth)) / float64(d)))
+	p := m.Dataset.AspectSpread * (balance / math.Log(4))
+	if p > m.Dataset.AspectSpread {
+		p = m.Dataset.AspectSpread
+	}
+	return p
+}
+
+// complexity maps (w, d) to [0,1]: the backbone's share of the full
+// model's feature-extraction capacity.
+func (m *Model) complexity(w float64, d int) float64 {
+	return w * float64(d) / float64(m.Arch.MaxDepth)
+}
+
+// headerEffect returns the additive accuracy contribution of a header
+// on a backbone of the given complexity. Calibration (CIFAR):
+//
+//   - NAS headers beat fixed headers by +9.02 % on small backbones and
+//     ~+3 % on large ones (Fig. 7b);
+//   - CNN headers beat Linear on simple backbones and lose on complex
+//     ones (Fig. 8's crossover at w or d ≈ 0.75);
+//   - over-complex NAS headers (large B·U) lose accuracy on large
+//     backbones and gain on small ones (Fig. 12).
+func (m *Model) headerEffect(h HeaderSpec, cx float64) float64 {
+	g := m.Dataset.HeaderGain
+	simple := 1 - cx // how much the backbone under-extracts
+	switch h.Kind {
+	case HeaderLinear:
+		return g * (-0.026 * simple) // linear probes leave gains on the table for weak backbones
+	case HeaderPool:
+		return g * (-0.022*simple - 0.006*cx)
+	case HeaderMLP:
+		return g * (-0.010*simple - 0.003*cx)
+	case HeaderCNN:
+		// Helps weak backbones, hurts strong ones; crosses Linear near
+		// complexity ≈ 0.7 (Fig. 8's 0.75 observation).
+		return g * (0.022*simple - 0.020*cx)
+	default: // NAS
+		b, u := h.Blocks, h.Repeats
+		if b <= 0 {
+			b = 4
+		}
+		if u <= 0 {
+			u = 1
+		}
+		// Header complexity in [0, ~1]: B·U relative to the B=6,U=3 max
+		// swept in Fig. 12.
+		hc := float64(b*u) / 18
+		if hc > 1.2 {
+			hc = 1.2
+		}
+		// Matched complexity: small backbones want hc→1, large want
+		// hc→0.2 (Fig. 12a/b).
+		want := 0.2 + 0.8*simple
+		mismatch := (hc - want) * (hc - want)
+		base := 0.105*simple + 0.030*cx // ≈+9% small, ~+3.7% large vs avg fixed (Fig. 7b)
+		return g * (base - 0.045*mismatch)
+	}
+}
+
+// BackboneAccuracy is the accuracy of δ(θ₀, w, d) with the reference
+// linear header.
+func (m *Model) BackboneAccuracy(w float64, d int) float64 {
+	return m.Accuracy(w, d, HeaderSpec{Kind: HeaderLinear})
+}
+
+// Accuracy returns the surrogate top-1 accuracy of a (w, d) backbone
+// with header h.
+func (m *Model) Accuracy(w float64, d int, h HeaderSpec) float64 {
+	zeta := m.ParamCount(w, d)
+	acc := m.Dataset.AccMax*m.capacity(zeta)*(1-m.aspectPenalty(w, d)) +
+		m.headerEffect(h, m.complexity(w, d))
+	if acc < 0 {
+		return 0
+	}
+	if acc > 1 {
+		return 1
+	}
+	return acc
+}
+
+// AccuracyJitter adds a deterministic per-architecture jitter (±spread/2)
+// so that multiple same-size architectures scatter as in Fig. 1b. The
+// jitter is a hash of (w, d, salt), not randomness.
+func (m *Model) AccuracyJitter(w float64, d int, salt uint64) float64 {
+	h := uint64(math.Float64bits(w))*0x9e3779b97f4a7c15 ^ uint64(d)*0xbf58476d1ce4e5b9 ^ salt*0x94d049bb133111eb
+	h ^= h >> 31
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 29
+	u := float64(h%10000)/10000 - 0.5
+	return u * m.Dataset.AspectSpread * m.Dataset.AccMax
+}
+
+// BaselinePoint is a published lightweight-ViT comparison point for
+// Fig. 7a / 13a.
+type BaselinePoint struct {
+	Name     string
+	Params   float64
+	Accuracy float64
+}
+
+// Baselines returns the Fig. 7a comparison points, anchored to the
+// paper's reported deltas against ACME's best ≤25 M model:
+//
+//	Efficient-ViT: similar size, ACME +4.07 %
+//	MobileViT:     much smaller, lower accuracy
+//	Twins-SVT:     ~15 % more params than ACME, ACME +5.62 %
+//	DeViT family:  ACME uses 85.3 % of their params, +5 %
+func (m *Model) Baselines(acmeParams, acmeAcc float64) []BaselinePoint {
+	g := m.Dataset.HeaderGain
+	return []BaselinePoint{
+		{Name: "Efficient-ViT", Params: acmeParams * 0.96, Accuracy: acmeAcc - g*0.0407},
+		{Name: "MobileViT", Params: acmeParams * 0.35, Accuracy: acmeAcc - g*0.085},
+		{Name: "Twins-SVT", Params: acmeParams / 0.85, Accuracy: acmeAcc - g*0.0562},
+		{Name: "DeViT", Params: acmeParams / 0.853, Accuracy: acmeAcc - g*0.050},
+		{Name: "DeDeiTs", Params: acmeParams * 1.08, Accuracy: acmeAcc - g*0.058},
+		{Name: "DeCCTs", Params: acmeParams * 0.90, Accuracy: acmeAcc - g*0.066},
+	}
+}

@@ -1,0 +1,143 @@
+package surrogate
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccuracyBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := New(CIFAR100())
+		w := 0.05 + 0.95*rng.Float64()
+		d := 1 + rng.Intn(12)
+		kinds := []HeaderKind{HeaderNAS, HeaderLinear, HeaderMLP, HeaderCNN, HeaderPool}
+		h := HeaderSpec{Kind: kinds[rng.Intn(len(kinds))], Blocks: 1 + rng.Intn(6), Repeats: 1 + rng.Intn(3)}
+		acc := m.Accuracy(w, d, h)
+		return acc >= 0 && acc <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccuracySaturatesAndDips(t *testing.T) {
+	m := New(CIFAR100())
+	// Fig. 1a: the largest model is NOT the most accurate.
+	maxAcc, maxAt := 0.0, 0
+	for d := 1; d <= 12; d++ {
+		acc := m.BackboneAccuracy(1, d)
+		if acc > maxAcc {
+			maxAcc, maxAt = acc, d
+		}
+	}
+	if maxAt == 12 {
+		t.Fatal("accuracy peak at full size; Fig. 1a requires an interior peak")
+	}
+}
+
+func TestNASHeaderDominates(t *testing.T) {
+	m := New(CIFAR100())
+	nas := HeaderSpec{Kind: HeaderNAS, Blocks: 4, Repeats: 1}
+	for _, w := range []float64{0.25, 0.5, 0.75, 1.0} {
+		for _, d := range []int{3, 6, 9, 12} {
+			nasAcc := m.Accuracy(w, d, nas)
+			for _, k := range []HeaderKind{HeaderLinear, HeaderMLP, HeaderCNN, HeaderPool} {
+				if fixed := m.Accuracy(w, d, HeaderSpec{Kind: k}); fixed > nasAcc {
+					t.Fatalf("%v beats NAS at w=%.2f d=%d: %.4f > %.4f", k, w, d, fixed, nasAcc)
+				}
+			}
+		}
+	}
+}
+
+func TestCNNLinearCrossover(t *testing.T) {
+	m := New(CIFAR100())
+	// Fig. 8: CNN wins on a simple backbone, Linear wins on the full
+	// one.
+	cnnSmall := m.Accuracy(0.25, 3, HeaderSpec{Kind: HeaderCNN})
+	linSmall := m.Accuracy(0.25, 3, HeaderSpec{Kind: HeaderLinear})
+	if cnnSmall <= linSmall {
+		t.Fatalf("CNN should beat Linear on simple backbones: %.4f vs %.4f", cnnSmall, linSmall)
+	}
+	cnnBig := m.Accuracy(1, 12, HeaderSpec{Kind: HeaderCNN})
+	linBig := m.Accuracy(1, 12, HeaderSpec{Kind: HeaderLinear})
+	if linBig <= cnnBig {
+		t.Fatalf("Linear should beat CNN on the full backbone: %.4f vs %.4f", linBig, cnnBig)
+	}
+}
+
+func TestHeaderComplexityMatching(t *testing.T) {
+	m := New(CIFAR100())
+	// Fig. 12: on the full backbone, a simpler NAS header is better.
+	simple := m.Accuracy(1, 12, HeaderSpec{Kind: HeaderNAS, Blocks: 2, Repeats: 1})
+	complexH := m.Accuracy(1, 12, HeaderSpec{Kind: HeaderNAS, Blocks: 6, Repeats: 3})
+	if complexH >= simple {
+		t.Fatalf("complex header should hurt the full backbone: %.4f vs %.4f", complexH, simple)
+	}
+	// On a 0.25-scale backbone, complexity helps.
+	simpleS := m.Accuracy(0.25, 3, HeaderSpec{Kind: HeaderNAS, Blocks: 2, Repeats: 1})
+	complexS := m.Accuracy(0.25, 3, HeaderSpec{Kind: HeaderNAS, Blocks: 6, Repeats: 3})
+	if complexS <= simpleS {
+		t.Fatalf("complex header should help the small backbone: %.4f vs %.4f", complexS, simpleS)
+	}
+}
+
+func TestCarsHarderWithBiggerHeaderEffect(t *testing.T) {
+	cifar := New(CIFAR100())
+	cars := New(StanfordCars())
+	if cars.Accuracy(1, 12, HeaderSpec{Kind: HeaderNAS, Blocks: 4, Repeats: 1}) >=
+		cifar.Accuracy(1, 12, HeaderSpec{Kind: HeaderNAS, Blocks: 4, Repeats: 1}) {
+		t.Fatal("cars should be harder than cifar")
+	}
+	gain := func(m *Model) float64 {
+		nas := m.Accuracy(1, 2, HeaderSpec{Kind: HeaderNAS, Blocks: 4, Repeats: 1})
+		lin := m.Accuracy(1, 2, HeaderSpec{Kind: HeaderLinear})
+		return nas - lin
+	}
+	if gain(cars) <= gain(cifar) {
+		t.Fatal("header effect on cars should exceed cifar (Fig. 13b)")
+	}
+}
+
+func TestBaselinesOrdering(t *testing.T) {
+	m := New(CIFAR100())
+	bases := m.Baselines(22e6, 0.85)
+	if len(bases) != 6 {
+		t.Fatalf("got %d baselines", len(bases))
+	}
+	for _, b := range bases {
+		if b.Accuracy >= 0.85 {
+			t.Fatalf("%s should be below ACME: %.4f", b.Name, b.Accuracy)
+		}
+		if b.Params <= 0 {
+			t.Fatalf("%s has bad params", b.Name)
+		}
+	}
+}
+
+func TestJitterDeterministicAndBounded(t *testing.T) {
+	m := New(CIFAR100())
+	a := m.AccuracyJitter(0.5, 6, 1)
+	b := m.AccuracyJitter(0.5, 6, 1)
+	if a != b {
+		t.Fatal("jitter must be deterministic")
+	}
+	if c := m.AccuracyJitter(0.5, 6, 2); c == a {
+		t.Fatal("different salts should differ")
+	}
+	bound := m.Dataset.AspectSpread * m.Dataset.AccMax
+	if a < -bound || a > bound {
+		t.Fatalf("jitter %v outside ±%v", a, bound)
+	}
+}
+
+func TestHeaderParamsSmallRelativeToBackbone(t *testing.T) {
+	m := New(CIFAR100())
+	h := m.HeaderParams(HeaderSpec{Kind: HeaderNAS, Blocks: 4, Repeats: 1})
+	full := m.ParamCount(1, 12)
+	if h >= full/10 {
+		t.Fatalf("|θᴴ| = %.1fM not ≪ |θᴮ| = %.1fM", h/1e6, full/1e6)
+	}
+}

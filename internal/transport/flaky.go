@@ -1,0 +1,71 @@
+package transport
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Flaky wraps a Network with failure injection: random delivery delays
+// (and therefore cross-sender reordering) and optional duplication.
+// ACME's protocol must tolerate both — messages of the same round can
+// arrive in any order, and idempotent handling absorbs duplicates of
+// idempotent kinds. Message loss is deliberately not injected: the
+// protocol assumes a reliable transport (TCP), as the paper's
+// deployment does.
+type Flaky struct {
+	inner Network
+
+	// MaxDelay bounds the random delivery delay per message.
+	MaxDelay time.Duration
+	// DuplicateProb duplicates a message with this probability.
+	// Only safe for kinds the receiver treats idempotently; the
+	// system-level test keeps it at 0.
+	DuplicateProb float64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+	wg  sync.WaitGroup
+}
+
+var _ Network = (*Flaky)(nil)
+
+// NewFlaky wraps inner with delay/duplication injection.
+func NewFlaky(inner Network, maxDelay time.Duration, seed int64) *Flaky {
+	return &Flaky{inner: inner, MaxDelay: maxDelay, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Send implements Network: the message is delivered asynchronously
+// after a random delay.
+func (f *Flaky) Send(msg Message) error {
+	f.mu.Lock()
+	delay := time.Duration(f.rng.Int63n(int64(f.MaxDelay) + 1))
+	dup := f.DuplicateProb > 0 && f.rng.Float64() < f.DuplicateProb
+	f.mu.Unlock()
+
+	deliver := func(d time.Duration) {
+		f.wg.Add(1)
+		go func() {
+			defer f.wg.Done()
+			time.Sleep(d)
+			// Delivery failures surface at the receiver as missing
+			// messages; the inner network is in-process so the only
+			// realistic error is a closed network at shutdown.
+			_ = f.inner.Send(msg)
+		}()
+	}
+	deliver(delay)
+	if dup {
+		deliver(delay + f.MaxDelay/2)
+	}
+	return nil
+}
+
+// Recv implements Network.
+func (f *Flaky) Recv(ctx context.Context, node string) (Message, error) {
+	return f.inner.Recv(ctx, node)
+}
+
+// Wait blocks until all in-flight deliveries have completed.
+func (f *Flaky) Wait() { f.wg.Wait() }

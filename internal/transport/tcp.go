@@ -1,0 +1,255 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// TCP is a Network over real sockets: every node runs a listener and
+// peers dial each other on demand. Wire format per message:
+//
+//	uint32 frame length | uint8 kind | uint16 fromLen | from |
+//	uint16 toLen | to | payload
+//
+// Used by cmd/acmenode to run cloud, edge, and device roles as separate
+// OS processes.
+type TCP struct {
+	node  string
+	stats *Stats
+
+	mu       sync.Mutex
+	peers    map[string]string // node name → address
+	conns    map[string]net.Conn
+	inConns  map[net.Conn]struct{} // accepted connections, closed on shutdown
+	listener net.Listener
+	inbox    chan Message
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+var _ Network = (*TCP)(nil)
+
+// NewTCP starts a TCP network node listening on addr. peers maps every
+// reachable node name to its address.
+func NewTCP(node, addr string, peers map[string]string) (*TCP, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	t := &TCP{
+		node:     node,
+		stats:    NewStats(),
+		peers:    make(map[string]string, len(peers)),
+		conns:    make(map[string]net.Conn),
+		inConns:  make(map[net.Conn]struct{}),
+		listener: ln,
+		inbox:    make(chan Message, 256),
+	}
+	for k, v := range peers {
+		t.peers[k] = v
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the bound listener address.
+func (t *TCP) Addr() string { return t.listener.Addr().String() }
+
+// SetPeers replaces the peer table. Useful when listeners bind
+// ephemeral ports and the full table is only known after every node has
+// started.
+func (t *TCP) SetPeers(peers map[string]string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.peers = make(map[string]string, len(peers))
+	for k, v := range peers {
+		t.peers[k] = v
+	}
+}
+
+// Stats exposes traffic counters (bytes sent by this node).
+func (t *TCP) Stats() *Stats { return t.stats }
+
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.inConns[conn] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+func (t *TCP) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.inConns, conn)
+		t.mu.Unlock()
+	}()
+	r := bufio.NewReader(conn)
+	for {
+		msg, err := readFrame(r)
+		if err != nil {
+			return
+		}
+		t.mu.Lock()
+		closed := t.closed
+		t.mu.Unlock()
+		if closed {
+			return
+		}
+		t.inbox <- msg
+	}
+}
+
+// Send implements Network.
+func (t *TCP) Send(msg Message) error {
+	if msg.To == t.node {
+		t.stats.record(msg)
+		t.inbox <- msg
+		return nil
+	}
+	conn, err := t.dial(msg.To)
+	if err != nil {
+		return err
+	}
+	t.stats.record(msg)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := writeFrame(conn, msg); err != nil {
+		conn.Close()
+		delete(t.conns, msg.To)
+		return fmt.Errorf("transport: send to %s: %w", msg.To, err)
+	}
+	return nil
+}
+
+func (t *TCP) dial(node string) (net.Conn, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if c, ok := t.conns[node]; ok {
+		return c, nil
+	}
+	addr, ok := t.peers[node]
+	if !ok {
+		return nil, fmt.Errorf("transport: unknown peer %q", node)
+	}
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s@%s: %w", node, addr, err)
+	}
+	t.conns[node] = c
+	return c, nil
+}
+
+// Recv implements Network. The node argument must be this node's name.
+func (t *TCP) Recv(ctx context.Context, node string) (Message, error) {
+	if node != t.node {
+		return Message{}, fmt.Errorf("transport: tcp node %q cannot receive for %q", t.node, node)
+	}
+	select {
+	case msg := <-t.inbox:
+		return msg, nil
+	case <-ctx.Done():
+		return Message{}, fmt.Errorf("transport: recv %q: %w", node, ctx.Err())
+	}
+}
+
+// Close shuts the listener and all connections down and waits for the
+// reader goroutines to exit.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	err := t.listener.Close()
+	for _, c := range t.conns {
+		c.Close()
+	}
+	t.conns = make(map[string]net.Conn)
+	// Close accepted connections too, so their readLoops unblock.
+	for c := range t.inConns {
+		c.Close()
+	}
+	t.mu.Unlock()
+	// Drain the inbox so readLoops blocked on send can observe closure.
+	go func() {
+		for range t.inbox {
+			// discard
+		}
+	}()
+	t.wg.Wait()
+	close(t.inbox)
+	return err
+}
+
+func writeFrame(w io.Writer, msg Message) error {
+	frame := make([]byte, 0, 4+1+2+len(msg.From)+2+len(msg.To)+len(msg.Payload))
+	body := make([]byte, 0, 1+2+len(msg.From)+2+len(msg.To)+len(msg.Payload))
+	body = append(body, byte(msg.Kind))
+	body = binary.BigEndian.AppendUint16(body, uint16(len(msg.From)))
+	body = append(body, msg.From...)
+	body = binary.BigEndian.AppendUint16(body, uint16(len(msg.To)))
+	body = append(body, msg.To...)
+	body = append(body, msg.Payload...)
+	frame = binary.BigEndian.AppendUint32(frame, uint32(len(body)))
+	frame = append(frame, body...)
+	_, err := w.Write(frame)
+	return err
+}
+
+func readFrame(r io.Reader) (Message, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return Message{}, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n > 1<<30 {
+		return Message{}, fmt.Errorf("transport: frame too large: %d", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Message{}, err
+	}
+	if len(body) < 5 {
+		return Message{}, fmt.Errorf("transport: short frame")
+	}
+	msg := Message{Kind: Kind(body[0])}
+	off := 1
+	fl := int(binary.BigEndian.Uint16(body[off:]))
+	off += 2
+	if off+fl > len(body) {
+		return Message{}, fmt.Errorf("transport: bad from length")
+	}
+	msg.From = string(body[off : off+fl])
+	off += fl
+	tl := int(binary.BigEndian.Uint16(body[off:]))
+	off += 2
+	if off+tl > len(body) {
+		return Message{}, fmt.Errorf("transport: bad to length")
+	}
+	msg.To = string(body[off : off+tl])
+	off += tl
+	msg.Payload = body[off:]
+	return msg, nil
+}

@@ -1,0 +1,154 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+)
+
+func newPair(t *testing.T) (a, b *TCP) {
+	t.Helper()
+	a, err := NewTCP("a", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err = NewTCP("b", "127.0.0.1:0", nil)
+	if err != nil {
+		a.Close()
+		t.Fatal(err)
+	}
+	peers := map[string]string{"a": a.Addr(), "b": b.Addr()}
+	a.SetPeers(peers)
+	b.SetPeers(peers)
+	t.Cleanup(func() {
+		a.Close()
+		b.Close()
+	})
+	return a, b
+}
+
+func TestTCPSendRecv(t *testing.T) {
+	a, b := newPair(t)
+	msg := Message{Kind: KindHeader, From: "a", To: "b", Payload: []byte("payload")}
+	if err := a.Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	got, err := b.Recv(ctx, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.From != "a" || got.Kind != KindHeader || string(got.Payload) != "payload" {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestTCPBidirectional(t *testing.T) {
+	a, b := newPair(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for i := 0; i < 5; i++ {
+		if err := a.Send(Message{Kind: KindControl, From: "a", To: "b", Payload: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Send(Message{Kind: KindControl, From: "b", To: "a", Payload: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := a.Recv(ctx, "a"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Recv(ctx, "b"); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTCPSelfSend(t *testing.T) {
+	a, _ := newPair(t)
+	if err := a.Send(Message{Kind: KindControl, From: "a", To: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if _, err := a.Recv(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPUnknownPeer(t *testing.T) {
+	a, _ := newPair(t)
+	if err := a.Send(Message{To: "ghost", From: "a"}); err == nil {
+		t.Fatal("expected unknown-peer error")
+	}
+}
+
+func TestTCPLargePayload(t *testing.T) {
+	a, b := newPair(t)
+	big := bytes.Repeat([]byte{0xAB}, 1<<20)
+	if err := a.Send(Message{Kind: KindBackbone, From: "a", To: "b", Payload: big}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	got, err := b.Recv(ctx, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Payload, big) {
+		t.Fatal("large payload corrupted")
+	}
+}
+
+func TestTCPCloseIdempotentAndUnblocksReaders(t *testing.T) {
+	a, b := newPair(t)
+	// Establish an inbound conn on b.
+	if err := a.Send(Message{Kind: KindControl, From: "a", To: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if _, err := b.Recv(ctx, "b"); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- b.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close deadlocked with live inbound connections")
+	}
+	if err := b.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := Message{Kind: KindImportanceSet, From: "dev", To: "edge", Payload: []byte{1, 2, 3}}
+	if err := writeFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Kind != in.Kind || out.From != in.From || out.To != in.To || !bytes.Equal(out.Payload, in.Payload) {
+		t.Fatalf("frame mismatch: %+v", out)
+	}
+}
+
+func TestReadFrameRejectsGarbage(t *testing.T) {
+	// Oversized frame length must be rejected rather than allocated.
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := readFrame(&buf); err == nil {
+		t.Fatal("expected frame-too-large error")
+	}
+}

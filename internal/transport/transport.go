@@ -1,0 +1,267 @@
+// Package transport provides the messaging substrate of the
+// bidirectional single-loop distributed system: typed messages with gob
+// payload encoding, per-sender/per-kind byte accounting (the data that
+// feeds Table I), an in-memory network for single-process simulation,
+// and a TCP network for multi-process deployment (cmd/acmenode).
+package transport
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"fmt"
+	"sync"
+)
+
+// Kind tags the protocol message types exchanged by the system.
+type Kind uint8
+
+// Protocol message kinds.
+const (
+	KindStats           Kind = iota + 1 // edge → cloud: cluster attribute statistics
+	KindBackbone                        // cloud → edge: customized backbone parameters
+	KindHeader                          // edge → device: backbone + header model
+	KindImportanceSet                   // device → edge: header importance set Qn
+	KindPersonalizedSet                 // edge → device: aggregated set Q'n
+	KindRawData                         // device → edge/cloud: raw training samples
+	KindControl                         // coordination/acknowledgement
+	KindProvision                       // out-of-band setup: shared data already stored at the edge
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindStats:
+		return "stats"
+	case KindBackbone:
+		return "backbone"
+	case KindHeader:
+		return "header"
+	case KindImportanceSet:
+		return "importance-set"
+	case KindPersonalizedSet:
+		return "personalized-set"
+	case KindRawData:
+		return "raw-data"
+	case KindControl:
+		return "control"
+	case KindProvision:
+		return "provision"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Message is one protocol datagram.
+type Message struct {
+	Kind    Kind
+	From    string
+	To      string
+	Payload []byte
+}
+
+// Encode gob-serializes v.
+func Encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("transport: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode gob-deserializes data into v (a pointer).
+func Decode(data []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
+		return fmt.Errorf("transport: decode: %w", err)
+	}
+	return nil
+}
+
+// Network moves messages between named nodes.
+type Network interface {
+	// Send delivers msg to msg.To. It blocks only if the destination
+	// inbox is full.
+	Send(msg Message) error
+	// Recv blocks until a message addressed to node arrives or ctx is
+	// done.
+	Recv(ctx context.Context, node string) (Message, error)
+}
+
+// Stats aggregates traffic counters. All byte counts include the
+// payload plus a fixed per-message header estimate.
+type Stats struct {
+	mu           sync.Mutex
+	bytesBySrc   map[string]int64
+	bytesByKind  map[Kind]int64
+	msgsByKind   map[Kind]int64
+	totalBytes   int64
+	totalMsgs    int64
+	headerEstLen int64
+}
+
+// NewStats returns an empty counter set.
+func NewStats() *Stats {
+	return &Stats{
+		bytesBySrc:   make(map[string]int64),
+		bytesByKind:  make(map[Kind]int64),
+		msgsByKind:   make(map[Kind]int64),
+		headerEstLen: 16,
+	}
+}
+
+func (s *Stats) record(msg Message) {
+	n := int64(len(msg.Payload)) + s.headerEstLen
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bytesBySrc[msg.From] += n
+	s.bytesByKind[msg.Kind] += n
+	s.msgsByKind[msg.Kind]++
+	s.totalBytes += n
+	s.totalMsgs++
+}
+
+// TotalBytes returns the total bytes moved.
+func (s *Stats) TotalBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.totalBytes
+}
+
+// TotalMessages returns the total message count.
+func (s *Stats) TotalMessages() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.totalMsgs
+}
+
+// BytesFrom returns bytes sent by the named node.
+func (s *Stats) BytesFrom(node string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytesBySrc[node]
+}
+
+// MessagesByKind returns a copy of the per-kind message counters.
+func (s *Stats) MessagesByKind() map[Kind]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[Kind]int64, len(s.msgsByKind))
+	for k, v := range s.msgsByKind {
+		out[k] = v
+	}
+	return out
+}
+
+// BytesByKind returns a copy of the per-kind byte counters.
+func (s *Stats) BytesByKind() map[Kind]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[Kind]int64, len(s.bytesByKind))
+	for k, v := range s.bytesByKind {
+		out[k] = v
+	}
+	return out
+}
+
+// BytesMatching sums bytes from senders for which pred returns true.
+func (s *Stats) BytesMatching(pred func(node string) bool) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total int64
+	for node, n := range s.bytesBySrc {
+		if pred(node) {
+			total += n
+		}
+	}
+	return total
+}
+
+// Memory is an in-process Network with one buffered inbox per node.
+type Memory struct {
+	stats *Stats
+
+	mu     sync.Mutex
+	inbox  map[string]chan Message
+	closed bool
+}
+
+var _ Network = (*Memory)(nil)
+
+// NewMemory returns an empty in-memory network.
+func NewMemory() *Memory {
+	return &Memory{
+		stats: NewStats(),
+		inbox: make(map[string]chan Message),
+	}
+}
+
+// Stats exposes the traffic counters.
+func (m *Memory) Stats() *Stats { return m.stats }
+
+// Register creates the inbox for a node. Registering twice is a no-op.
+func (m *Memory) Register(node string, buffer int) {
+	if buffer <= 0 {
+		buffer = 64
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.inbox[node]; !ok {
+		m.inbox[node] = make(chan Message, buffer)
+	}
+}
+
+// Send implements Network.
+func (m *Memory) Send(msg Message) error {
+	m.mu.Lock()
+	ch, ok := m.inbox[msg.To]
+	closed := m.closed
+	m.mu.Unlock()
+	if closed {
+		return fmt.Errorf("transport: network closed")
+	}
+	if !ok {
+		return fmt.Errorf("transport: unknown node %q", msg.To)
+	}
+	m.stats.record(msg)
+	ch <- msg
+	return nil
+}
+
+// Recv implements Network.
+func (m *Memory) Recv(ctx context.Context, node string) (Message, error) {
+	m.mu.Lock()
+	ch, ok := m.inbox[node]
+	m.mu.Unlock()
+	if !ok {
+		return Message{}, fmt.Errorf("transport: unknown node %q", node)
+	}
+	select {
+	case msg := <-ch:
+		return msg, nil
+	case <-ctx.Done():
+		return Message{}, fmt.Errorf("transport: recv %q: %w", node, ctx.Err())
+	}
+}
+
+// RecvKind receives messages for node until one of the wanted kind
+// arrives, failing on any other kind (protocol violation) to surface
+// sequencing bugs early.
+func RecvKind(ctx context.Context, n Network, node string, want Kind) (Message, error) {
+	msg, err := n.Recv(ctx, node)
+	if err != nil {
+		return Message{}, err
+	}
+	if msg.Kind != want {
+		return Message{}, fmt.Errorf("transport: %s expected %v from protocol, got %v from %s", node, want, msg.Kind, msg.From)
+	}
+	return msg, nil
+}
+
+// SendValue encodes v and sends it in one message.
+func SendValue(n Network, kind Kind, from, to string, v any) error {
+	payload, err := Encode(v)
+	if err != nil {
+		return err
+	}
+	return n.Send(Message{Kind: kind, From: from, To: to, Payload: payload})
+}

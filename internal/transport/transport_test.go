@@ -1,0 +1,141 @@
+package transport
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	type payload struct {
+		A int
+		B []float64
+		C string
+	}
+	in := payload{A: 7, B: []float64{1, 2, 3}, C: "hello"}
+	raw, err := Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if err := Decode(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.A != in.A || out.C != in.C || len(out.B) != 3 {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+}
+
+func TestMemorySendRecv(t *testing.T) {
+	m := NewMemory()
+	m.Register("a", 4)
+	m.Register("b", 4)
+	if err := m.Send(Message{Kind: KindStats, From: "a", To: "b", Payload: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := m.Recv(context.Background(), "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.From != "a" || msg.Kind != KindStats {
+		t.Fatalf("got %+v", msg)
+	}
+}
+
+func TestMemoryUnknownNode(t *testing.T) {
+	m := NewMemory()
+	m.Register("a", 1)
+	if err := m.Send(Message{To: "nope", From: "a"}); err == nil {
+		t.Fatal("expected unknown-node error")
+	}
+	if _, err := m.Recv(context.Background(), "nope"); err == nil {
+		t.Fatal("expected unknown-node error")
+	}
+}
+
+func TestMemoryRecvContextCancel(t *testing.T) {
+	m := NewMemory()
+	m.Register("a", 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := m.Recv(ctx, "a"); err == nil {
+		t.Fatal("expected context error")
+	}
+}
+
+func TestRecvKindMismatch(t *testing.T) {
+	m := NewMemory()
+	m.Register("a", 1)
+	if err := m.Send(Message{Kind: KindBackbone, From: "x", To: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RecvKind(context.Background(), m, "a", KindStats); err == nil {
+		t.Fatal("expected kind-mismatch error")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	m := NewMemory()
+	m.Register("a", 4)
+	m.Register("b", 4)
+	for i := 0; i < 3; i++ {
+		if err := m.Send(Message{Kind: KindRawData, From: "a", To: "b", Payload: make([]byte, 100)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := m.Stats()
+	if st.TotalMessages() != 3 {
+		t.Fatalf("messages %d", st.TotalMessages())
+	}
+	if st.BytesFrom("a") != 3*(100+16) {
+		t.Fatalf("bytes from a: %d", st.BytesFrom("a"))
+	}
+	if st.BytesByKind()[KindRawData] != 348 {
+		t.Fatalf("bytes by kind: %v", st.BytesByKind())
+	}
+	if got := st.BytesMatching(func(n string) bool { return n == "a" }); got != 348 {
+		t.Fatalf("matching: %d", got)
+	}
+}
+
+func TestMemoryConcurrentSenders(t *testing.T) {
+	m := NewMemory()
+	m.Register("sink", 256)
+	const senders, per = 8, 10
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				_ = m.Send(Message{Kind: KindControl, From: "x", To: "sink"})
+			}
+		}(s)
+	}
+	wg.Wait()
+	for i := 0; i < senders*per; i++ {
+		if _, err := m.Recv(context.Background(), "sink"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Stats().TotalMessages() != senders*per {
+		t.Fatalf("messages %d", m.Stats().TotalMessages())
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := []Kind{KindStats, KindBackbone, KindHeader, KindImportanceSet,
+		KindPersonalizedSet, KindRawData, KindControl, KindProvision}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if seen[s] {
+			t.Fatalf("duplicate kind string %q", s)
+		}
+		seen[s] = true
+	}
+	if Kind(200).String() == "" {
+		t.Fatal("unknown kind must still render")
+	}
+}
