@@ -1,0 +1,32 @@
+# Mirrors .github/workflows/ci.yml so local runs and CI stay in lockstep.
+
+GO ?= go
+
+.PHONY: all build test race bench fmt fmt-check vet ci
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core/... ./internal/transport/... ./internal/tensor/...
+
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./internal/tensor
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+ci: fmt-check vet build test race bench

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"acme/internal/experiments"
+	"acme/internal/tensor"
 )
 
 func main() {
@@ -27,7 +28,9 @@ func main() {
 func run() error {
 	exp := flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
 	seeds := flag.Int("seeds", 2, "seeds for averaged micro-scale experiments")
+	parallel := flag.Int("parallel", 0, "tensor-kernel goroutines (0 = GOMAXPROCS)")
 	flag.Parse()
+	tensor.SetParallelism(*parallel)
 
 	type runner struct {
 		id string

@@ -34,6 +34,7 @@ func run() error {
 	agg := flag.String("agg", "wasserstein", "aggregation: wasserstein, js, average, alone")
 	seed := flag.Int64("seed", 1, "random seed")
 	timeout := flag.Duration("timeout", 10*time.Minute, "run timeout")
+	parallel := flag.Int("parallel", 0, "tensor-kernel goroutines (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	cfg := acme.DefaultConfig()
@@ -54,6 +55,7 @@ func run() error {
 	cfg.SamplesPerDevice = *samples
 	cfg.Phase2Rounds = *rounds
 	cfg.Seed = *seed
+	cfg.Parallelism = *parallel
 
 	switch *level {
 	case "IID":

@@ -1,0 +1,3 @@
+module acme
+
+go 1.24

@@ -55,8 +55,7 @@ func Combine(sets []*importance.Set, sim [][]float64) ([]*importance.Set, error)
 		if len(sim[i]) != n {
 			return nil, fmt.Errorf("aggregate: similarity row %d has %d cols, want %d", i, len(sim[i]), n)
 		}
-		acc := sets[0].Clone()
-		acc.Scale(0)
+		acc := sets[0].ZeroClone()
 		for j, w := range sim[i] {
 			if err := acc.AddScaled(w, sets[j]); err != nil {
 				return nil, fmt.Errorf("aggregate: device %d += %d: %w", i, j, err)

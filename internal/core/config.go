@@ -88,6 +88,12 @@ type Config struct {
 	// directory, loadable with LoadDeviceCheckpoint.
 	CheckpointDir string
 
+	// Parallelism caps the goroutines the tensor kernels may use for
+	// large matrix multiplies. 0 leaves the process-wide setting
+	// unchanged (default: GOMAXPROCS). Results are bitwise independent
+	// of the setting; it only trades cores for wall time.
+	Parallelism int
+
 	Seed int64
 }
 
@@ -189,6 +195,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: shared fraction %v outside [0,1]", c.SharedFraction)
 	case c.Phase2Rounds < 0:
 		return fmt.Errorf("core: negative phase-2 rounds")
+	case c.Parallelism < 0:
+		return fmt.Errorf("core: negative parallelism %d", c.Parallelism)
 	}
 	for _, d := range c.Depths {
 		if d <= 0 || d > c.Backbone.Depth {

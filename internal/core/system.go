@@ -11,6 +11,7 @@ import (
 	"acme/internal/nas"
 	"acme/internal/nn"
 	"acme/internal/pareto"
+	"acme/internal/tensor"
 	"acme/internal/transport"
 )
 
@@ -84,6 +85,14 @@ type System struct {
 func NewSystem(cfg Config) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("core: config: %w", err)
+	}
+	// Results are bitwise independent of the kernel parallelism, so a
+	// package-level knob cannot break the determinism of concurrent
+	// systems sharing the process. 0 means "leave the process-wide
+	// setting alone" so a constructor with a default config never
+	// clobbers a -parallel flag applied earlier.
+	if cfg.Parallelism > 0 {
+		tensor.SetParallelism(cfg.Parallelism)
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	gen, err := data.NewGenerator(cfg.Dataset)

@@ -10,6 +10,7 @@ import (
 
 	"acme/internal/data"
 	"acme/internal/nn"
+	"acme/internal/tensor"
 )
 
 // AccumulateBackbone runs forward/backward passes of classifier c over
@@ -70,6 +71,15 @@ func (s *Set) Clone() *Set {
 	return out
 }
 
+// ZeroClone returns a zeroed set with the same shape as s.
+func (s *Set) ZeroClone() *Set {
+	out := &Set{Layers: make([][]float64, len(s.Layers))}
+	for i, l := range s.Layers {
+		out.Layers[i] = make([]float64, len(l))
+	}
+	return out
+}
+
 // Total returns the number of scalar entries.
 func (s *Set) Total() int {
 	var n int
@@ -97,9 +107,7 @@ func (s *Set) AddScaled(f float64, o *Set) error {
 		if len(s.Layers[i]) != len(o.Layers[i]) {
 			return fmt.Errorf("importance: layer %d size %d vs %d", i, len(s.Layers[i]), len(o.Layers[i]))
 		}
-		for j := range s.Layers[i] {
-			s.Layers[i][j] += f * o.Layers[i][j]
-		}
+		tensor.Axpy(f, o.Layers[i], s.Layers[i])
 	}
 	return nil
 }

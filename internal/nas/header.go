@@ -371,10 +371,9 @@ func (h *HeaderModel) Backward(dlogits []float64) {
 			continue
 		}
 		nodeGrads := make([]*tensor.Matrix, 2+h.Cfg.Blocks)
-		share := dModule[u].Clone()
-		share.Scale(1 / float64(len(h.looseEnds[u])))
+		inv := 1 / float64(len(h.looseEnds[u]))
 		for _, idx := range h.looseEnds[u] {
-			nodeGrads[idx] = addGrad(nodeGrads[idx], share)
+			nodeGrads[idx] = axpyGrad(nodeGrads[idx], inv, dModule[u])
 		}
 		for b := h.Cfg.Blocks - 1; b >= 0; b-- {
 			g := nodeGrads[2+b]
@@ -435,6 +434,16 @@ func addGrad(dst, src *tensor.Matrix) *tensor.Matrix {
 		return src.Clone()
 	}
 	tensor.AddInPlace(dst, src)
+	return dst
+}
+
+// axpyGrad accumulates dst += alpha·src, allocating dst on first use —
+// the fused form of Clone+Scale+addGrad for shared loose-end gradients.
+func axpyGrad(dst *tensor.Matrix, alpha float64, src *tensor.Matrix) *tensor.Matrix {
+	if dst == nil {
+		dst = tensor.New(src.Rows, src.Cols)
+	}
+	tensor.AxpyRows(alpha, src, dst)
 	return dst
 }
 

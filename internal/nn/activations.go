@@ -9,25 +9,29 @@ import (
 // GELU is the Gaussian Error Linear Unit activation, applied element-wise.
 type GELU struct {
 	x *tensor.Matrix
+
+	// Reused output buffers; overwritten on the next pass, after
+	// callers have consumed them.
+	y, dx *tensor.Matrix
 }
 
 // Forward computes y = x·Φ(x) with the exact Gaussian CDF.
 func (g *GELU) Forward(x *tensor.Matrix) *tensor.Matrix {
 	g.x = x
-	y := tensor.New(x.Rows, x.Cols)
+	g.y = tensor.Ensure(g.y, x.Rows, x.Cols)
 	for i, v := range x.Data {
-		y.Data[i] = v * gaussCDF(v)
+		g.y.Data[i] = v * gaussCDF(v)
 	}
-	return y
+	return g.y
 }
 
 // Backward returns dx = dy ∘ gelu'(x).
 func (g *GELU) Backward(dy *tensor.Matrix) *tensor.Matrix {
-	dx := tensor.New(dy.Rows, dy.Cols)
+	g.dx = tensor.Ensure(g.dx, dy.Rows, dy.Cols)
 	for i, v := range g.x.Data {
-		dx.Data[i] = dy.Data[i] * (gaussCDF(v) + v*gaussPDF(v))
+		g.dx.Data[i] = dy.Data[i] * (gaussCDF(v) + v*gaussPDF(v))
 	}
-	return dx
+	return g.dx
 }
 
 // Params implements Module.
@@ -36,29 +40,36 @@ func (g *GELU) Params() []*Param { return nil }
 // ReLU is the rectified linear activation, applied element-wise.
 type ReLU struct {
 	x *tensor.Matrix
+
+	// Reused output buffers, as in GELU.
+	y, dx *tensor.Matrix
 }
 
 // Forward computes y = max(0, x).
 func (r *ReLU) Forward(x *tensor.Matrix) *tensor.Matrix {
 	r.x = x
-	y := tensor.New(x.Rows, x.Cols)
+	r.y = tensor.Ensure(r.y, x.Rows, x.Cols)
 	for i, v := range x.Data {
 		if v > 0 {
-			y.Data[i] = v
+			r.y.Data[i] = v
+		} else {
+			r.y.Data[i] = 0
 		}
 	}
-	return y
+	return r.y
 }
 
 // Backward returns dx = dy ∘ 1[x>0].
 func (r *ReLU) Backward(dy *tensor.Matrix) *tensor.Matrix {
-	dx := tensor.New(dy.Rows, dy.Cols)
+	r.dx = tensor.Ensure(r.dx, dy.Rows, dy.Cols)
 	for i, v := range r.x.Data {
 		if v > 0 {
-			dx.Data[i] = dy.Data[i]
+			r.dx.Data[i] = dy.Data[i]
+		} else {
+			r.dx.Data[i] = 0
 		}
 	}
-	return dx
+	return r.dx
 }
 
 // Params implements Module.

@@ -32,6 +32,16 @@ type MHSA struct {
 	attn    []*tensor.Matrix // per head: seq × seq softmax weights
 	headOut []*tensor.Matrix // per head: seq × headDim
 	concat  *tensor.Matrix
+
+	// Reused buffers. The layer runs one forward/backward pair at a
+	// time and callers consume each result before the next pass, so
+	// overwriting between passes is safe. sQ/sK/sV/sDO/sDA/sDQ/sDK/sDV
+	// are per-head scratch reused across the head loop.
+	y, dx                          *tensor.Matrix
+	dq, dk, dv, dConcat            *tensor.Matrix
+	sQ, sK, sV, sDO, sDA, sDQ, sDK *tensor.Matrix
+	sDV                            *tensor.Matrix
+	rowDot                         []float64
 }
 
 // NewMHSA returns an MHSA layer with all heads active. dModel must be a
@@ -57,6 +67,8 @@ func NewMHSA(name string, dModel, numHeads int, rng *rand.Rand) *MHSA {
 	m.Wv.InitXavier(rng, dModel, dModel)
 	m.Wo.InitXavier(rng, dModel, dModel)
 	m.HeadImportance = make([]float64, numHeads)
+	m.attn = make([]*tensor.Matrix, numHeads)
+	m.headOut = make([]*tensor.Matrix, numHeads)
 	return m
 }
 
@@ -71,14 +83,15 @@ func (m *MHSA) ActiveHeads() int {
 	return n
 }
 
-// headSlice extracts the columns of mat belonging to head h as a copy.
-func (m *MHSA) headSlice(mat *tensor.Matrix, h int) *tensor.Matrix {
-	out := tensor.New(mat.Rows, m.HeadDim)
+// headSliceInto copies the columns of mat belonging to head h into dst,
+// reusing dst's storage when shapes allow.
+func (m *MHSA) headSliceInto(dst, mat *tensor.Matrix, h int) *tensor.Matrix {
+	dst = tensor.Ensure(dst, mat.Rows, m.HeadDim)
 	off := h * m.HeadDim
 	for i := 0; i < mat.Rows; i++ {
-		copy(out.Row(i), mat.Row(i)[off:off+m.HeadDim])
+		copy(dst.Row(i), mat.Row(i)[off:off+m.HeadDim])
 	}
-	return out
+	return dst
 }
 
 // headSliceAdd adds src into the columns of dst belonging to head h.
@@ -95,95 +108,101 @@ func (m *MHSA) headSliceAdd(dst, src *tensor.Matrix, h int) {
 // Forward computes masked multi-head self-attention over x (seq × d).
 func (m *MHSA) Forward(x *tensor.Matrix) *tensor.Matrix {
 	m.x = x
-	m.q = tensor.MatMul(x, m.Wq.Value)
-	m.k = tensor.MatMul(x, m.Wk.Value)
-	m.v = tensor.MatMul(x, m.Wv.Value)
-	m.attn = make([]*tensor.Matrix, m.NumHeads)
-	m.headOut = make([]*tensor.Matrix, m.NumHeads)
-	m.concat = tensor.New(x.Rows, m.DModel)
+	m.q = tensor.Ensure(m.q, x.Rows, m.DModel)
+	m.k = tensor.Ensure(m.k, x.Rows, m.DModel)
+	m.v = tensor.Ensure(m.v, x.Rows, m.DModel)
+	tensor.MatMulInto(m.q, x, m.Wq.Value)
+	tensor.MatMulInto(m.k, x, m.Wk.Value)
+	tensor.MatMulInto(m.v, x, m.Wv.Value)
+	m.concat = tensor.Ensure(m.concat, x.Rows, m.DModel)
+	m.concat.Zero()
 	scale := 1 / math.Sqrt(float64(m.HeadDim))
 	for h := 0; h < m.NumHeads; h++ {
 		if !m.HeadMask[h] {
 			continue
 		}
-		qh := m.headSlice(m.q, h)
-		kh := m.headSlice(m.k, h)
-		vh := m.headSlice(m.v, h)
-		s := tensor.MatMulTransB(qh, kh)
+		m.sQ = m.headSliceInto(m.sQ, m.q, h)
+		m.sK = m.headSliceInto(m.sK, m.k, h)
+		m.sV = m.headSliceInto(m.sV, m.v, h)
+		s := tensor.Ensure(m.attn[h], x.Rows, x.Rows)
+		m.attn[h] = s
+		tensor.MatMulTransBInto(s, m.sQ, m.sK)
 		s.Scale(scale)
 		s.SoftmaxRows()
-		m.attn[h] = s
-		oh := tensor.MatMul(s, vh)
+		oh := tensor.Ensure(m.headOut[h], x.Rows, m.HeadDim)
 		m.headOut[h] = oh
+		tensor.MatMulInto(oh, s, m.sV)
 		m.headSliceAdd(m.concat, oh, h)
 	}
-	y := tensor.MatMul(m.concat, m.Wo.Value)
-	y.AddRowVector(m.Bo.Value.Data)
-	return y
+	m.y = tensor.Ensure(m.y, x.Rows, m.DModel)
+	tensor.MatMulInto(m.y, m.concat, m.Wo.Value)
+	m.y.AddRowVector(m.Bo.Value.Data)
+	return m.y
 }
 
 // Backward accumulates parameter gradients (and head importances when
 // enabled) and returns dx.
 func (m *MHSA) Backward(dy *tensor.Matrix) *tensor.Matrix {
-	tensor.AddInPlace(m.Wo.Grad, tensor.MatMulTransA(m.concat, dy))
-	for j, v := range dy.SumRows() {
-		m.Bo.Grad.Data[j] += v
-	}
-	dConcat := tensor.MatMulTransB(dy, m.Wo.Value)
+	tensor.MatMulTransAAcc(m.Wo.Grad, m.concat, dy)
+	dy.SumRowsInto(m.Bo.Grad.Data)
+	m.dConcat = tensor.Ensure(m.dConcat, dy.Rows, m.DModel)
+	tensor.MatMulTransBInto(m.dConcat, dy, m.Wo.Value)
 
-	dq := tensor.New(m.x.Rows, m.DModel)
-	dk := tensor.New(m.x.Rows, m.DModel)
-	dv := tensor.New(m.x.Rows, m.DModel)
+	m.dq = tensor.Ensure(m.dq, m.x.Rows, m.DModel)
+	m.dk = tensor.Ensure(m.dk, m.x.Rows, m.DModel)
+	m.dv = tensor.Ensure(m.dv, m.x.Rows, m.DModel)
+	m.dq.Zero()
+	m.dk.Zero()
+	m.dv.Zero()
 	scale := 1 / math.Sqrt(float64(m.HeadDim))
 	for h := 0; h < m.NumHeads; h++ {
 		if !m.HeadMask[h] {
 			continue
 		}
-		dOh := m.headSlice(dConcat, h)
+		dOh := m.headSliceInto(m.sDO, m.dConcat, h)
+		m.sDO = dOh
 		if m.RecordImportance {
-			var s float64
-			for i, g := range dOh.Data {
-				s += g * m.headOut[h].Data[i]
-			}
-			m.HeadImportance[h] += math.Abs(s)
+			m.HeadImportance[h] += math.Abs(tensor.Dot(dOh.Data, m.headOut[h].Data))
 		}
 		a := m.attn[h]
-		vh := m.headSlice(m.v, h)
-		qh := m.headSlice(m.q, h)
-		kh := m.headSlice(m.k, h)
+		m.sV = m.headSliceInto(m.sV, m.v, h)
 
-		dA := tensor.MatMulTransB(dOh, vh)
-		dVh := tensor.MatMulTransA(a, dOh)
-		// softmax backward, row-wise: dS = A ∘ (dA - rowsum(A∘dA))
-		dS := tensor.New(a.Rows, a.Cols)
+		dA := tensor.Ensure(m.sDA, a.Rows, a.Cols)
+		m.sDA = dA
+		tensor.MatMulTransBInto(dA, dOh, m.sV)
+		m.sDV = tensor.Ensure(m.sDV, m.x.Rows, m.HeadDim)
+		tensor.MatMulTransAInto(m.sDV, a, dOh)
+		// softmax backward, row-wise and in place:
+		// dS = scale · A ∘ (dA - rowsum(A∘dA))
+		m.rowDot = tensor.DotRows(a, dA, m.rowDot)
 		for i := 0; i < a.Rows; i++ {
 			arow := a.Row(i)
 			darow := dA.Row(i)
-			var dot float64
-			for j := range arow {
-				dot += arow[j] * darow[j]
-			}
-			dsrow := dS.Row(i)
-			for j := range arow {
-				dsrow[j] = arow[j] * (darow[j] - dot)
+			dot := m.rowDot[i]
+			for j := range darow {
+				darow[j] = arow[j] * (darow[j] - dot) * scale
 			}
 		}
-		dS.Scale(scale)
-		dQh := tensor.MatMul(dS, kh)
-		dKh := tensor.MatMulTransA(dS, qh)
-		m.headSliceAdd(dq, dQh, h)
-		m.headSliceAdd(dk, dKh, h)
-		m.headSliceAdd(dv, dVh, h)
+		m.sQ = m.headSliceInto(m.sQ, m.q, h)
+		m.sK = m.headSliceInto(m.sK, m.k, h)
+		m.sDQ = tensor.Ensure(m.sDQ, a.Rows, m.HeadDim)
+		tensor.MatMulInto(m.sDQ, dA, m.sK)
+		m.sDK = tensor.Ensure(m.sDK, a.Rows, m.HeadDim)
+		tensor.MatMulTransAInto(m.sDK, dA, m.sQ)
+		m.headSliceAdd(m.dq, m.sDQ, h)
+		m.headSliceAdd(m.dk, m.sDK, h)
+		m.headSliceAdd(m.dv, m.sDV, h)
 	}
 
-	tensor.AddInPlace(m.Wq.Grad, tensor.MatMulTransA(m.x, dq))
-	tensor.AddInPlace(m.Wk.Grad, tensor.MatMulTransA(m.x, dk))
-	tensor.AddInPlace(m.Wv.Grad, tensor.MatMulTransA(m.x, dv))
+	tensor.MatMulTransAAcc(m.Wq.Grad, m.x, m.dq)
+	tensor.MatMulTransAAcc(m.Wk.Grad, m.x, m.dk)
+	tensor.MatMulTransAAcc(m.Wv.Grad, m.x, m.dv)
 
-	dx := tensor.MatMulTransB(dq, m.Wq.Value)
-	tensor.AddInPlace(dx, tensor.MatMulTransB(dk, m.Wk.Value))
-	tensor.AddInPlace(dx, tensor.MatMulTransB(dv, m.Wv.Value))
-	return dx
+	m.dx = tensor.Ensure(m.dx, m.x.Rows, m.DModel)
+	tensor.MatMulTransBInto(m.dx, m.dq, m.Wq.Value)
+	tensor.MatMulTransBAcc(m.dx, m.dk, m.Wk.Value)
+	tensor.MatMulTransBAcc(m.dx, m.dv, m.Wv.Value)
+	return m.dx
 }
 
 // ResetImportance zeroes accumulated head importances.

@@ -54,6 +54,8 @@ type Backbone struct {
 	// forward caches
 	tokens []*tensor.Matrix // tokens[l] = input to block l; tokens[ActiveDepth] = last block output
 	final  *tensor.Matrix
+
+	dPatches *tensor.Matrix // reused backward scratch
 }
 
 // NewBackbone builds a randomly initialized reference backbone.
@@ -161,14 +163,12 @@ func (b *Backbone) Backward(dFinal *tensor.Matrix, injections map[int]*tensor.Ma
 	}
 	// d is the gradient at the token matrix: pos, cls, patch embed.
 	tensor.AddInPlace(b.Pos.Grad, d)
-	for j := 0; j < b.Cfg.DModel; j++ {
-		b.CLS.Grad.Data[j] += d.At(0, j)
-	}
-	dPatches := tensor.New(b.Cfg.NumPatches, b.Cfg.DModel)
+	tensor.Axpy(1, d.Row(0), b.CLS.Grad.Data)
+	b.dPatches = tensor.Ensure(b.dPatches, b.Cfg.NumPatches, b.Cfg.DModel)
 	for i := 0; i < b.Cfg.NumPatches; i++ {
-		copy(dPatches.Row(i), d.Row(i+1))
+		copy(b.dPatches.Row(i), d.Row(i+1))
 	}
-	b.PatchEmbed.Backward(dPatches)
+	b.PatchEmbed.Backward(b.dPatches)
 }
 
 // Params implements Module. It returns the parameters of every block,

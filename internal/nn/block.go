@@ -15,6 +15,12 @@ type Block struct {
 	Attn *MHSA
 	LN2  *LayerNorm
 	FFN  *MLP
+
+	// Reused backward buffers. Forward outputs stay freshly allocated
+	// because the backbone caches them across the whole pass (tokens);
+	// backward outputs are consumed by the next-lower block before this
+	// block runs again.
+	dh, dx *tensor.Matrix
 }
 
 // NewBlock returns a Transformer block with the given dimensions.
@@ -35,8 +41,11 @@ func (b *Block) Forward(x *tensor.Matrix) *tensor.Matrix {
 
 // Backward propagates dy through the block and returns dx.
 func (b *Block) Backward(dy *tensor.Matrix) *tensor.Matrix {
-	dh := tensor.Add(dy, b.LN2.Backward(b.FFN.Backward(dy)))
-	return tensor.Add(dh, b.LN1.Backward(b.Attn.Backward(dh)))
+	b.dh = tensor.Ensure(b.dh, dy.Rows, dy.Cols)
+	tensor.AddInto(b.dh, dy, b.LN2.Backward(b.FFN.Backward(dy)))
+	b.dx = tensor.Ensure(b.dx, dy.Rows, dy.Cols)
+	tensor.AddInto(b.dx, b.dh, b.LN1.Backward(b.Attn.Backward(b.dh)))
+	return b.dx
 }
 
 // Params implements Module.

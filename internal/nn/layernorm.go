@@ -17,6 +17,10 @@ type LayerNorm struct {
 	Bias  *Param // 1 × d
 	xhat  *tensor.Matrix
 	invSD []float64
+
+	// Reused output buffers; overwritten on the next pass, after
+	// callers have consumed them.
+	y, dx *tensor.Matrix
 }
 
 // NewLayerNorm returns a LayerNorm with gain 1 and bias 0.
@@ -32,9 +36,12 @@ func NewLayerNorm(name string, dim int, _ *rand.Rand) *LayerNorm {
 
 // Forward normalizes each row and applies gain/bias.
 func (ln *LayerNorm) Forward(x *tensor.Matrix) *tensor.Matrix {
-	ln.xhat = tensor.New(x.Rows, x.Cols)
-	ln.invSD = make([]float64, x.Rows)
-	y := tensor.New(x.Rows, x.Cols)
+	ln.xhat = tensor.Ensure(ln.xhat, x.Rows, x.Cols)
+	if len(ln.invSD) != x.Rows {
+		ln.invSD = make([]float64, x.Rows)
+	}
+	ln.y = tensor.Ensure(ln.y, x.Rows, x.Cols)
+	y := ln.y
 	g := ln.Gain.Value.Data
 	b := ln.Bias.Value.Data
 	for i := 0; i < x.Rows; i++ {
@@ -63,7 +70,8 @@ func (ln *LayerNorm) Forward(x *tensor.Matrix) *tensor.Matrix {
 
 // Backward accumulates gain/bias gradients and returns dx.
 func (ln *LayerNorm) Backward(dy *tensor.Matrix) *tensor.Matrix {
-	dx := tensor.New(dy.Rows, dy.Cols)
+	ln.dx = tensor.Ensure(ln.dx, dy.Rows, dy.Cols)
+	dx := ln.dx
 	g := ln.Gain.Value.Data
 	dg := ln.Gain.Grad.Data
 	db := ln.Bias.Grad.Data

@@ -14,6 +14,13 @@ type Linear struct {
 	B       *Param // 1 × out
 
 	x *tensor.Matrix // cached input for backward
+
+	// Reused output/gradient buffers. A layer instance runs at most one
+	// forward/backward pair at a time, and callers consume each result
+	// before the instance's next pass, so the buffers are overwritten
+	// only after they are dead.
+	y  *tensor.Matrix
+	dx *tensor.Matrix
 }
 
 // NewLinear returns a Xavier-initialized Linear layer.
@@ -31,18 +38,19 @@ func NewLinear(name string, in, out int, rng *rand.Rand) *Linear {
 // Forward computes y = x·W + b.
 func (l *Linear) Forward(x *tensor.Matrix) *tensor.Matrix {
 	l.x = x
-	y := tensor.MatMul(x, l.W.Value)
-	y.AddRowVector(l.B.Value.Data)
-	return y
+	l.y = tensor.Ensure(l.y, x.Rows, l.Out)
+	tensor.MatMulInto(l.y, x, l.W.Value)
+	l.y.AddRowVector(l.B.Value.Data)
+	return l.y
 }
 
 // Backward accumulates dW, dB and returns dx.
 func (l *Linear) Backward(dy *tensor.Matrix) *tensor.Matrix {
-	tensor.AddInPlace(l.W.Grad, tensor.MatMulTransA(l.x, dy))
-	for j, v := range dy.SumRows() {
-		l.B.Grad.Data[j] += v
-	}
-	return tensor.MatMulTransB(dy, l.W.Value)
+	tensor.MatMulTransAAcc(l.W.Grad, l.x, dy)
+	dy.SumRowsInto(l.B.Grad.Data)
+	l.dx = tensor.Ensure(l.dx, dy.Rows, l.In)
+	tensor.MatMulTransBInto(l.dx, dy, l.W.Value)
+	return l.dx
 }
 
 // Params implements Module.

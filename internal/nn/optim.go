@@ -1,6 +1,10 @@
 package nn
 
-import "math"
+import (
+	"math"
+
+	"acme/internal/tensor"
+)
 
 // Optimizer updates parameters from their accumulated gradients.
 type Optimizer interface {
@@ -39,10 +43,8 @@ func (s *SGD) Step(params []*Param) {
 				v = make([]float64, len(g))
 				s.velocity[p] = v
 			}
-			for i := range g {
-				v[i] = s.Momentum*v[i] + g[i]
-				p.Value.Data[i] -= s.LR * v[i]
-			}
+			tensor.ScaleAddVec(s.Momentum, v, g)
+			tensor.Axpy(-s.LR, v, p.Value.Data)
 		}
 		p.ZeroGrad()
 	}

@@ -66,10 +66,8 @@ func (c *Conv1D) Forward(x *tensor.Matrix) *tensor.Matrix {
 
 // Backward accumulates gradients and returns dx.
 func (c *Conv1D) Backward(dy *tensor.Matrix) *tensor.Matrix {
-	tensor.AddInPlace(c.W.Grad, tensor.MatMulTransA(c.cols, dy))
-	for j, v := range dy.SumRows() {
-		c.B.Grad.Data[j] += v
-	}
+	tensor.MatMulTransAAcc(c.W.Grad, c.cols, dy)
+	dy.SumRowsInto(c.B.Grad.Data)
 	dcols := tensor.MatMulTransB(dy, c.W.Value)
 	seq := dy.Rows
 	half := c.Kernel / 2

@@ -1,0 +1,77 @@
+package tensor
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Benchmarks compare the serial kernel (parallelism 1) against the
+// pooled kernel at GOMAXPROCS across the sizes the training stack
+// actually hits: 64 (header-scale), 256 (backbone-scale), 1024
+// (stress / paper-scale surrogate).
+
+func benchMatMul(b *testing.B, n, parallelism int) {
+	SetParallelism(parallelism)
+	defer SetParallelism(0)
+	rng := rand.New(rand.NewSource(1))
+	x := New(n, n)
+	y := New(n, n)
+	x.Randomize(rng, 1)
+	y.Randomize(rng, 1)
+	dst := New(n, n)
+	b.SetBytes(int64(8 * n * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(dst, x, y)
+	}
+}
+
+func BenchmarkMatMul(b *testing.B) {
+	for _, n := range []int{64, 256, 1024} {
+		b.Run(fmt.Sprintf("serial/%d", n), func(b *testing.B) { benchMatMul(b, n, 1) })
+		b.Run(fmt.Sprintf("parallel/%d", n), func(b *testing.B) { benchMatMul(b, n, 0) })
+	}
+}
+
+func BenchmarkMatMulTransA(b *testing.B) {
+	for _, n := range []int{256, 1024} {
+		for name, p := range map[string]int{"serial": 1, "parallel": 0} {
+			b.Run(fmt.Sprintf("%s/%d", name, n), func(b *testing.B) {
+				SetParallelism(p)
+				defer SetParallelism(0)
+				rng := rand.New(rand.NewSource(1))
+				x := New(n, n)
+				y := New(n, n)
+				x.Randomize(rng, 1)
+				y.Randomize(rng, 1)
+				dst := New(n, n)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					MatMulTransAInto(dst, x, y)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkMatMulTransB(b *testing.B) {
+	for _, n := range []int{256, 1024} {
+		for name, p := range map[string]int{"serial": 1, "parallel": 0} {
+			b.Run(fmt.Sprintf("%s/%d", name, n), func(b *testing.B) {
+				SetParallelism(p)
+				defer SetParallelism(0)
+				rng := rand.New(rand.NewSource(1))
+				x := New(n, n)
+				y := New(n, n)
+				x.Randomize(rng, 1)
+				y.Randomize(rng, 1)
+				dst := New(n, n)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					MatMulTransBInto(dst, x, y)
+				}
+			})
+		}
+	}
+}

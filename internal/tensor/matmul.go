@@ -1,0 +1,184 @@
+package tensor
+
+import "fmt"
+
+// Cache block sizes, in float64 elements. A blockK×blockJ panel of b
+// (128 KiB) sits comfortably in L2 while a blockJ-wide dst row segment
+// (2 KiB) stays in L1 across the k sweep. Blocking only reorders which
+// (i, j) cells are visited when; every per-element reduction still runs
+// in ascending-k order, so blocked, serial, and parallel kernels produce
+// bitwise-identical results.
+const (
+	blockK = 64
+	blockJ = 256
+)
+
+// MatMul returns a·b.
+func MatMul(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Cols)
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes dst = a·b, reusing dst's storage.
+func MatMulInto(dst, a, b *Matrix) {
+	checkMatMul("matmul", dst, a.Rows, b.Cols, a.Cols, b.Rows)
+	dst.Zero()
+	matMulAcc(dst, a, b)
+}
+
+// MatMulAcc computes dst += a·b, reusing dst's storage.
+func MatMulAcc(dst, a, b *Matrix) {
+	checkMatMul("matmul", dst, a.Rows, b.Cols, a.Cols, b.Rows)
+	matMulAcc(dst, a, b)
+}
+
+func matMulAcc(dst, a, b *Matrix) {
+	if a.Rows*a.Cols*b.Cols >= minParallelFlops {
+		parallelFor(a.Rows, func(i0, i1 int) { matMulRange(dst, a, b, i0, i1) })
+		return
+	}
+	matMulRange(dst, a, b, 0, a.Rows)
+}
+
+// matMulRange accumulates rows [i0, i1) of a·b into dst.
+func matMulRange(dst, a, b *Matrix, i0, i1 int) {
+	for k0 := 0; k0 < a.Cols; k0 += blockK {
+		k1 := k0 + blockK
+		if k1 > a.Cols {
+			k1 = a.Cols
+		}
+		for j0 := 0; j0 < b.Cols; j0 += blockJ {
+			j1 := j0 + blockJ
+			if j1 > b.Cols {
+				j1 = b.Cols
+			}
+			for i := i0; i < i1; i++ {
+				arow := a.Row(i)
+				dseg := dst.Row(i)[j0:j1]
+				for k := k0; k < k1; k++ {
+					av := arow[k]
+					if av == 0 {
+						continue
+					}
+					bseg := b.Row(k)[j0:j1]
+					for j, bv := range bseg {
+						dseg[j] += av * bv
+					}
+				}
+			}
+		}
+	}
+}
+
+// MatMulTransB returns a·bᵀ.
+func MatMulTransB(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Rows)
+	MatMulTransBInto(out, a, b)
+	return out
+}
+
+// MatMulTransBInto computes dst = a·bᵀ, reusing dst's storage.
+func MatMulTransBInto(dst, a, b *Matrix) {
+	checkMatMul("matmul-transB", dst, a.Rows, b.Rows, a.Cols, b.Cols)
+	dst.Zero()
+	matMulTransBAcc(dst, a, b)
+}
+
+// MatMulTransBAcc computes dst += a·bᵀ, reusing dst's storage.
+func MatMulTransBAcc(dst, a, b *Matrix) {
+	checkMatMul("matmul-transB", dst, a.Rows, b.Rows, a.Cols, b.Cols)
+	matMulTransBAcc(dst, a, b)
+}
+
+func matMulTransBAcc(dst, a, b *Matrix) {
+	if a.Rows*b.Rows*a.Cols >= minParallelFlops {
+		parallelFor(a.Rows, func(i0, i1 int) { matMulTransBRange(dst, a, b, i0, i1) })
+		return
+	}
+	matMulTransBRange(dst, a, b, 0, a.Rows)
+}
+
+// matMulTransBRange accumulates rows [i0, i1) of a·bᵀ into dst. The
+// rows of b are walked in panels so the panel stays cached across the
+// rows of a in this range.
+func matMulTransBRange(dst, a, b *Matrix, i0, i1 int) {
+	for p0 := 0; p0 < b.Rows; p0 += blockK {
+		p1 := p0 + blockK
+		if p1 > b.Rows {
+			p1 = b.Rows
+		}
+		for i := i0; i < i1; i++ {
+			arow := a.Row(i)
+			drow := dst.Row(i)
+			for j := p0; j < p1; j++ {
+				brow := b.Row(j)
+				var s float64
+				for k := range arow {
+					s += arow[k] * brow[k]
+				}
+				drow[j] += s
+			}
+		}
+	}
+}
+
+// MatMulTransA returns aᵀ·b.
+func MatMulTransA(a, b *Matrix) *Matrix {
+	out := New(a.Cols, b.Cols)
+	MatMulTransAInto(out, a, b)
+	return out
+}
+
+// MatMulTransAInto computes dst = aᵀ·b, reusing dst's storage.
+func MatMulTransAInto(dst, a, b *Matrix) {
+	checkMatMul("matmul-transA", dst, a.Cols, b.Cols, a.Rows, b.Rows)
+	dst.Zero()
+	matMulTransAAcc(dst, a, b)
+}
+
+// MatMulTransAAcc computes dst += aᵀ·b, reusing dst's storage. It is
+// the allocation-free form of the gradient accumulations in internal/nn
+// (dW += xᵀ·dy).
+func MatMulTransAAcc(dst, a, b *Matrix) {
+	checkMatMul("matmul-transA", dst, a.Cols, b.Cols, a.Rows, b.Rows)
+	matMulTransAAcc(dst, a, b)
+}
+
+func matMulTransAAcc(dst, a, b *Matrix) {
+	if a.Rows*a.Cols*b.Cols >= minParallelFlops {
+		parallelFor(a.Cols, func(i0, i1 int) { matMulTransARange(dst, a, b, i0, i1) })
+		return
+	}
+	matMulTransARange(dst, a, b, 0, a.Cols)
+}
+
+// matMulTransARange accumulates rows [i0, i1) of aᵀ·b into dst (row i
+// of the output corresponds to column i of a).
+func matMulTransARange(dst, a, b *Matrix, i0, i1 int) {
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i := i0; i < i1; i++ {
+			av := arow[i]
+			if av == 0 {
+				continue
+			}
+			drow := dst.Row(i)
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// checkMatMul panics unless dst is wantR×wantC and the inner dimensions
+// innerA and innerB agree.
+func checkMatMul(op string, dst *Matrix, wantR, wantC, innerA, innerB int) {
+	if innerA != innerB {
+		panic(fmt.Sprintf("tensor: %s inner dims %d vs %d", op, innerA, innerB))
+	}
+	if dst.Rows != wantR || dst.Cols != wantC {
+		panic(fmt.Sprintf("tensor: %s dst %dx%d want %dx%d", op, dst.Rows, dst.Cols, wantR, wantC))
+	}
+}

@@ -79,85 +79,6 @@ func shapeCheck(op string, a, b *Matrix) {
 	}
 }
 
-// MatMul returns a·b.
-func MatMul(a, b *Matrix) *Matrix {
-	if a.Cols != b.Rows {
-		panic(fmt.Sprintf("tensor: matmul inner dims %d vs %d", a.Cols, b.Rows))
-	}
-	out := New(a.Rows, b.Cols)
-	MatMulInto(out, a, b)
-	return out
-}
-
-// MatMulInto computes dst = a·b, reusing dst's storage.
-func MatMulInto(dst, a, b *Matrix) {
-	if a.Cols != b.Rows {
-		panic(fmt.Sprintf("tensor: matmul inner dims %d vs %d", a.Cols, b.Rows))
-	}
-	if dst.Rows != a.Rows || dst.Cols != b.Cols {
-		panic(fmt.Sprintf("tensor: matmul dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
-	}
-	dst.Zero()
-	// ikj loop order keeps the inner loop sequential over both b and dst.
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		drow := dst.Row(i)
-		for k := 0; k < a.Cols; k++ {
-			av := arow[k]
-			if av == 0 {
-				continue
-			}
-			brow := b.Row(k)
-			for j := range drow {
-				drow[j] += av * brow[j]
-			}
-		}
-	}
-}
-
-// MatMulTransB returns a·bᵀ.
-func MatMulTransB(a, b *Matrix) *Matrix {
-	if a.Cols != b.Cols {
-		panic(fmt.Sprintf("tensor: matmul-transB inner dims %d vs %d", a.Cols, b.Cols))
-	}
-	out := New(a.Rows, b.Rows)
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for j := 0; j < b.Rows; j++ {
-			brow := b.Row(j)
-			var s float64
-			for k := range arow {
-				s += arow[k] * brow[k]
-			}
-			orow[j] = s
-		}
-	}
-	return out
-}
-
-// MatMulTransA returns aᵀ·b.
-func MatMulTransA(a, b *Matrix) *Matrix {
-	if a.Rows != b.Rows {
-		panic(fmt.Sprintf("tensor: matmul-transA inner dims %d vs %d", a.Rows, b.Rows))
-	}
-	out := New(a.Cols, b.Cols)
-	for k := 0; k < a.Rows; k++ {
-		arow := a.Row(k)
-		brow := b.Row(k)
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			orow := out.Row(i)
-			for j := range brow {
-				orow[j] += av * brow[j]
-			}
-		}
-	}
-	return out
-}
-
 // Add returns a+b.
 func Add(a, b *Matrix) *Matrix {
 	shapeCheck("add", a, b)

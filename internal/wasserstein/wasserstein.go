@@ -20,13 +20,20 @@ func Distance1D(xs, ys []float64, p float64) float64 {
 	if len(xs) == 0 || len(ys) == 0 {
 		return 0
 	}
-	if p <= 0 {
-		p = 1
-	}
 	a := append([]float64(nil), xs...)
 	b := append([]float64(nil), ys...)
 	sort.Float64s(a)
 	sort.Float64s(b)
+	return distance1DSorted(a, b, p)
+}
+
+// distance1DSorted is Distance1D over already-sorted, non-empty
+// samples. It is the allocation-free core shared with Sliced, whose
+// projection loop sorts its scratch buffers in place.
+func distance1DSorted(a, b []float64, p float64) float64 {
+	if p <= 0 {
+		p = 1
+	}
 	n := len(a)
 	if len(b) > n {
 		n = len(b)
@@ -35,7 +42,14 @@ func Distance1D(xs, ys []float64, p float64) float64 {
 	for i := 0; i < n; i++ {
 		q := (float64(i) + 0.5) / float64(n)
 		d := math.Abs(quantile(a, q) - quantile(b, q))
-		total += math.Pow(d, p)
+		if p == 1 {
+			total += d
+		} else {
+			total += math.Pow(d, p)
+		}
+	}
+	if p == 1 {
+		return total / float64(n)
 	}
 	return math.Pow(total/float64(n), 1/p)
 }
@@ -73,15 +87,20 @@ func Sliced(xs, ys [][]float64, p float64, numProjections int, rng *rand.Rand) (
 	var total float64
 	px := make([]float64, len(xs))
 	py := make([]float64, len(ys))
+	dir := make([]float64, dim)
 	for k := 0; k < numProjections; k++ {
-		dir := randUnit(rng, dim)
+		randUnitInto(rng, dir)
 		for i, x := range xs {
 			px[i] = dot(dir, x)
 		}
 		for i, y := range ys {
 			py[i] = dot(dir, y)
 		}
-		total += Distance1D(px, py, p)
+		// px/py are scratch: sort in place instead of copying per
+		// projection as Distance1D would.
+		sort.Float64s(px)
+		sort.Float64s(py)
+		total += distance1DSorted(px, py, p)
 	}
 	return total / float64(numProjections), nil
 }
@@ -210,8 +229,8 @@ func klTerm(p, m float64) float64 {
 	return p * math.Log(p/m)
 }
 
-func randUnit(rng *rand.Rand, dim int) []float64 {
-	v := make([]float64, dim)
+// randUnitInto fills v with a uniformly random unit direction.
+func randUnitInto(rng *rand.Rand, v []float64) {
 	var norm float64
 	for i := range v {
 		v[i] = rng.NormFloat64()
@@ -220,12 +239,11 @@ func randUnit(rng *rand.Rand, dim int) []float64 {
 	norm = math.Sqrt(norm)
 	if norm == 0 {
 		v[0] = 1
-		return v
+		return
 	}
 	for i := range v {
 		v[i] /= norm
 	}
-	return v
 }
 
 func dot(a, b []float64) float64 {
