@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt fmt-check vet ci
+.PHONY: all build test race bench fuzz fmt fmt-check vet ci
 
 all: build test
 
@@ -13,10 +13,14 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/transport/... ./internal/tensor/...
+	$(GO) test -race ./internal/core/... ./internal/transport/... ./internal/wire/... ./internal/tensor/...
 
 bench:
-	$(GO) test -run='^$$' -bench=. -benchtime=1x ./internal/tensor
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./internal/tensor ./internal/wire ./internal/core
+
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=20s ./internal/wire
+	$(GO) test -run='^$$' -fuzz=FuzzReadFrame -fuzztime=20s ./internal/transport
 
 fmt:
 	gofmt -w .

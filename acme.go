@@ -62,6 +62,28 @@ const (
 	AggregateAlone       = core.AggregateAlone
 )
 
+// QuantMode selects the wire precision of model-parameter and
+// importance payloads (Config.Quantization).
+type QuantMode = core.QuantMode
+
+// Quantization modes for Config.Quantization.
+const (
+	QuantLossless = core.QuantLossless // exact payloads (default)
+	QuantFloat16  = core.QuantFloat16  // IEEE half precision, 4× smaller params
+	QuantInt8     = core.QuantInt8     // scaled signed bytes, 8× smaller params
+)
+
+// ParseQuantMode resolves a quantization mode from its flag name
+// (lossless, float16, int8).
+func ParseQuantMode(s string) (QuantMode, error) { return core.ParseQuantMode(s) }
+
+// MessageKind tags the protocol message types (see Result.Stats
+// per-kind accounting).
+type MessageKind = transport.Kind
+
+// TrafficStats aggregates per-kind wire/raw byte counters.
+type TrafficStats = transport.Stats
+
 // ConfusionLevel indexes the non-IID data-difficulty ladder.
 type ConfusionLevel = data.ConfusionLevel
 

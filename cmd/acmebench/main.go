@@ -14,8 +14,10 @@ import (
 	"os"
 	"strings"
 
+	"acme/internal/core"
 	"acme/internal/experiments"
 	"acme/internal/tensor"
+	"acme/internal/transport"
 )
 
 func main() {
@@ -29,8 +31,18 @@ func run() error {
 	exp := flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
 	seeds := flag.Int("seeds", 2, "seeds for averaged micro-scale experiments")
 	parallel := flag.Int("parallel", 0, "tensor-kernel goroutines (0 = GOMAXPROCS)")
+	wireName := flag.String("wire", "binary", "wire format for measured runs: binary, gob")
+	quant := flag.String("quant", "lossless", "payload quantization for measured runs: lossless, float16, int8")
 	flag.Parse()
 	tensor.SetParallelism(*parallel)
+	qm, err := core.ParseQuantMode(*quant)
+	if err != nil {
+		return err
+	}
+	if _, err := transport.CodecByName(*wireName); err != nil {
+		return err
+	}
+	experiments.SetWireOptions(*wireName, qm)
 
 	type runner struct {
 		id string

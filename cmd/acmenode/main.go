@@ -40,6 +40,8 @@ func run() error {
 	devices := flag.Int("devices", 2, "devices per cluster")
 	seed := flag.Int64("seed", 1, "shared random seed (identical across processes)")
 	timeout := flag.Duration("timeout", 10*time.Minute, "run timeout")
+	wireName := flag.String("wire", "binary", "wire format: binary, gob (identical across processes)")
+	quant := flag.String("quant", "lossless", "payload quantization: lossless, float16, int8 (identical across processes)")
 	flag.Parse()
 
 	if *role == "" || *listen == "" || *peers == "" {
@@ -59,6 +61,12 @@ func run() error {
 	cfg.Fleet.Clusters = *edges
 	cfg.Fleet.DevicesPerCluster = *devices
 	cfg.Seed = *seed
+	cfg.WireFormat = *wireName
+	qm, err := acme.ParseQuantMode(*quant)
+	if err != nil {
+		return err
+	}
+	cfg.Quantization = qm
 
 	net, err := transport.NewTCP(*role, *listen, peerMap)
 	if err != nil {

@@ -35,6 +35,8 @@ func run() error {
 	seed := flag.Int64("seed", 1, "random seed")
 	timeout := flag.Duration("timeout", 10*time.Minute, "run timeout")
 	parallel := flag.Int("parallel", 0, "tensor-kernel goroutines (0 = GOMAXPROCS)")
+	wireName := flag.String("wire", "binary", "wire format: binary, gob")
+	quant := flag.String("quant", "lossless", "payload quantization: lossless, float16, int8")
 	flag.Parse()
 
 	cfg := acme.DefaultConfig()
@@ -56,6 +58,12 @@ func run() error {
 	cfg.Phase2Rounds = *rounds
 	cfg.Seed = *seed
 	cfg.Parallelism = *parallel
+	cfg.WireFormat = *wireName
+	qm, err := acme.ParseQuantMode(*quant)
+	if err != nil {
+		return err
+	}
+	cfg.Quantization = qm
 
 	switch *level {
 	case "IID":
@@ -121,5 +129,20 @@ func run() error {
 		100*float64(res.UploadBytes)/float64(res.CentralizedUploadBytes))
 	fmt.Printf("search space: ACME %.3g vs centralized %.3g architectures\n",
 		res.SearchSpaceOurs, res.SearchSpaceCS)
+
+	st := res.Stats
+	fmt.Printf("\nwire traffic (%s codec, %s payloads): %d messages, %d wire bytes, %d in-memory bytes (ratio %.2f)\n",
+		*wireName, qm, st.TotalMessages(), st.TotalBytes(), st.TotalRawBytes(), st.CompressionRatio())
+	wireByKind := st.BytesByKind()
+	rawByKind := st.RawBytesByKind()
+	msgsByKind := st.MessagesByKind()
+	for _, k := range st.Kinds() {
+		ratio := 0.0
+		if wireByKind[k] > 0 {
+			ratio = float64(rawByKind[k]) / float64(wireByKind[k])
+		}
+		fmt.Printf("  %-16s %4d msgs  %9d wire  %9d raw  ratio %.2f\n",
+			k, msgsByKind[k], wireByKind[k], rawByKind[k], ratio)
+	}
 	return nil
 }

@@ -22,6 +22,10 @@ func main() {
 	cfg.Fleet.DevicesPerCluster = 2
 	cfg.SamplesPerDevice = 80
 	cfg.Phase2Rounds = 1
+	// The compact binary wire format is the default; set it explicitly
+	// here because every process of a TCP deployment must agree on it.
+	cfg.WireFormat = "binary"
+	cfg.Quantization = acme.QuantLossless
 
 	// Build one system just to enumerate the roles.
 	probe, err := acme.NewSystem(cfg)
@@ -87,4 +91,15 @@ func main() {
 	for _, r := range collected.Reports {
 		fmt.Printf("  device-%d: accuracy %.3f → %.3f\n", r.DeviceID, r.AccuracyCoarse, r.AccuracyFinal)
 	}
+	// Each role's TCP node counts the traffic it sent; summing over
+	// every role gives the cluster-wide wire volume.
+	var wireBytes, rawBytes, msgs int64
+	for _, role := range roles {
+		st := nets[role].Stats()
+		wireBytes += st.TotalBytes()
+		rawBytes += st.TotalRawBytes()
+		msgs += st.TotalMessages()
+	}
+	fmt.Printf("cluster wire traffic: %d messages, %d wire bytes, %d in-memory bytes (codec ratio %.2f)\n",
+		msgs, wireBytes, rawBytes, float64(rawBytes)/float64(wireBytes))
 }

@@ -15,12 +15,42 @@ import (
 	"acme/internal/pareto"
 )
 
-// ParamBlob is a serialized parameter tensor.
+// ParamBlob is a serialized parameter tensor. In lossless mode Data
+// carries exact float64 values; in quantized modes Quant carries the
+// packed payload (2 bytes/value for float16, 1 for int8) and Data is
+// empty. Scale is the int8 per-tensor scale factor.
 type ParamBlob struct {
-	Name string
-	Rows int
-	Cols int
-	Data []float64
+	Name  string
+	Rows  int
+	Cols  int
+	Data  []float64
+	Mode  QuantMode
+	Quant []byte
+	Scale float64
+}
+
+// Count returns the number of parameter values the blob carries.
+func (p *ParamBlob) Count() int {
+	switch p.Mode {
+	case QuantFloat16:
+		return len(p.Quant) / 2
+	case QuantInt8:
+		return len(p.Quant)
+	default:
+		return len(p.Data)
+	}
+}
+
+// Values decodes the blob into dst (which must have Count() length).
+func (p *ParamBlob) Values(dst []float64) error {
+	if p.Mode == QuantLossless {
+		if len(dst) != len(p.Data) {
+			return fmt.Errorf("core: blob %s: %d values into %d slots", p.Name, len(p.Data), len(dst))
+		}
+		copy(dst, p.Data)
+		return nil
+	}
+	return dequantizeValues(dst, p.Quant, p.Scale, p.Mode)
 }
 
 // DeviceStats is the device → edge attribute upload.
@@ -86,19 +116,46 @@ type SparseLayer struct {
 // as float32: importance magnitudes are only used for ranking, and a
 // real deployment would not ship double precision. When the system is
 // configured with TopKFraction < 1, Sparse carries a top-k subset
-// instead of Layers.
+// instead of Layers; with a non-lossless Quantization mode, Quant
+// carries packed float16/int8 layers instead (sparsification wins when
+// both are configured).
 type ImportanceUpload struct {
 	DeviceID int
 	Layers   [][]float32
+	Quant    []QuantLayer
 	Sparse   []SparseLayer
 }
 
-// PersonalizedSet is the edge → device aggregated set Q'n. Done ends
+// PersonalizedSet is the edge → device aggregated set Q'n, with the
+// same dense/quantized payload split as ImportanceUpload. Done ends
 // the single loop (convergence or round budget reached).
 type PersonalizedSet struct {
 	Layers  [][]float32
+	Quant   []QuantLayer
 	Discard int
 	Done    bool
+}
+
+// layers extracts the float64 importance layers from whichever payload
+// an upload carries.
+func (u *ImportanceUpload) layers() ([][]float64, error) {
+	switch {
+	case len(u.Sparse) > 0:
+		return densifySet(u.Sparse), nil
+	case len(u.Quant) > 0:
+		return dequantizeLayers(u.Quant)
+	default:
+		return dequantizeSet(u.Layers), nil
+	}
+}
+
+// layers extracts the float64 aggregated layers from whichever payload
+// the set carries.
+func (p *PersonalizedSet) layers() ([][]float64, error) {
+	if len(p.Quant) > 0 {
+		return dequantizeLayers(p.Quant)
+	}
+	return dequantizeSet(p.Layers), nil
 }
 
 // sparsifySet keeps the top fraction of entries (by value) per layer.
@@ -186,15 +243,23 @@ type DeviceReport struct {
 	HeaderParams   int
 }
 
-func blobsFromParams(params []*nn.Param) []ParamBlob {
+func blobsFromParams(params []*nn.Param, mode QuantMode) []ParamBlob {
 	out := make([]ParamBlob, len(params))
 	for i, p := range params {
-		out[i] = ParamBlob{
+		blob := ParamBlob{
 			Name: p.Name,
 			Rows: p.Value.Rows,
 			Cols: p.Value.Cols,
-			Data: append([]float64(nil), p.Value.Data...),
+			Mode: mode,
 		}
+		if mode == QuantLossless {
+			blob.Data = append([]float64(nil), p.Value.Data...)
+		} else {
+			// quantizeValues only fails on an unknown mode, which the
+			// Config validation already rejects.
+			blob.Quant, blob.Scale, _ = quantizeValues(p.Value.Data, mode)
+		}
+		out[i] = blob
 	}
 	return out
 }
@@ -204,22 +269,25 @@ func loadParams(params []*nn.Param, blobs []ParamBlob) error {
 		return fmt.Errorf("core: %d params vs %d blobs", len(params), len(blobs))
 	}
 	for i, p := range params {
-		if p.NumParams() != len(blobs[i].Data) {
-			return fmt.Errorf("core: param %s size %d vs blob %d", p.Name, p.NumParams(), len(blobs[i].Data))
+		if p.NumParams() != blobs[i].Count() {
+			return fmt.Errorf("core: param %s size %d vs blob %d", p.Name, p.NumParams(), blobs[i].Count())
 		}
-		copy(p.Value.Data, blobs[i].Data)
+		if err := blobs[i].Values(p.Value.Data); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
-// EncodeBackbone packages a backbone's weights and masks.
-func EncodeBackbone(b *nn.Backbone, w float64, d int, cand pareto.Candidate) BackboneAssignment {
+// EncodeBackbone packages a backbone's weights and masks, quantizing
+// the parameter payloads according to mode.
+func EncodeBackbone(b *nn.Backbone, w float64, d int, cand pareto.Candidate, mode QuantMode) BackboneAssignment {
 	asg := BackboneAssignment{
 		W:           w,
 		D:           d,
 		ActiveDepth: b.ActiveDepth,
 		Cfg:         b.Cfg,
-		Params:      blobsFromParams(b.Params()),
+		Params:      blobsFromParams(b.Params(), mode),
 		Candidate:   cand,
 	}
 	for _, blk := range b.Blocks {
@@ -255,12 +323,12 @@ func DecodeBackbone(asg BackboneAssignment) (*nn.Backbone, error) {
 }
 
 // EncodeHeader packages a header model's architecture, weights, and
-// pruning masks.
-func EncodeHeader(h *nas.HeaderModel) HeaderPackage {
+// pruning masks, quantizing the parameter payloads according to mode.
+func EncodeHeader(h *nas.HeaderModel, mode QuantMode) HeaderPackage {
 	return HeaderPackage{
 		HeaderCfg:    h.Cfg,
 		Arch:         h.Arch,
-		HeaderParams: blobsFromParams(h.Params()),
+		HeaderParams: blobsFromParams(h.Params(), mode),
 		Masks:        h.ExportMasks(),
 	}
 }
@@ -291,8 +359,10 @@ type DeviceCheckpoint struct {
 // SaveDeviceCheckpoint writes the device's customized model to
 // dir/device-N.ckpt.
 func SaveDeviceCheckpoint(dir string, id int, backbone *nn.Backbone, header *nas.HeaderModel, cand pareto.Candidate) error {
-	pkg := EncodeHeader(header)
-	pkg.Backbone = EncodeBackbone(backbone, cand.W, cand.D, cand)
+	// Checkpoints are always lossless: quantization is a wire-transfer
+	// trade-off, not a storage format.
+	pkg := EncodeHeader(header, QuantLossless)
+	pkg.Backbone = EncodeBackbone(backbone, cand.W, cand.D, cand, QuantLossless)
 	cp := DeviceCheckpoint{DeviceID: id, Package: pkg}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(cp); err != nil {

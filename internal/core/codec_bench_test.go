@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"acme/internal/nn"
+	"acme/internal/pareto"
+	"acme/internal/transport"
+)
+
+func benchBackbone(b *testing.B) *nn.Backbone {
+	b.Helper()
+	bb, err := nn.NewBackbone(nn.BackboneConfig{
+		InputDim: 64, NumPatches: 8, DModel: 32, NumHeads: 4, Hidden: 64, Depth: 4,
+	}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return bb
+}
+
+// BenchmarkEncodeBackbone measures the full cloud → edge distribution
+// encode: parameter packaging (with quantization where configured)
+// plus payload serialization, reporting bytes per message.
+func BenchmarkEncodeBackbone(b *testing.B) {
+	bb := benchBackbone(b)
+	cases := []struct {
+		name  string
+		codec transport.Codec
+		mode  QuantMode
+	}{
+		{"gob-lossless", transport.Gob, QuantLossless},
+		{"binary-lossless", transport.Binary, QuantLossless},
+		{"binary-float16", transport.Binary, QuantFloat16},
+		{"binary-int8", transport.Binary, QuantInt8},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			var bytes int
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				asg := EncodeBackbone(bb, 1, 4, pareto.Candidate{W: 1, D: 4}, c.mode)
+				payload, err := c.codec.Encode(asg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				bytes = len(payload)
+			}
+			b.ReportMetric(float64(bytes), "wire-bytes")
+		})
+	}
+}
+
+// BenchmarkDecodeBackbone measures the edge-side decode back to a
+// usable model.
+func BenchmarkDecodeBackbone(b *testing.B) {
+	bb := benchBackbone(b)
+	cases := []struct {
+		name  string
+		codec transport.Codec
+		mode  QuantMode
+	}{
+		{"gob-lossless", transport.Gob, QuantLossless},
+		{"binary-lossless", transport.Binary, QuantLossless},
+		{"binary-int8", transport.Binary, QuantInt8},
+	}
+	for _, c := range cases {
+		asg := EncodeBackbone(bb, 1, 4, pareto.Candidate{W: 1, D: 4}, c.mode)
+		payload, err := c.codec.Encode(asg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var decoded BackboneAssignment
+				if err := c.codec.Decode(payload, &decoded); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := DecodeBackbone(decoded); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

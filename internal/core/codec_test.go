@@ -34,7 +34,7 @@ func TestBackboneCodecRoundTrip(t *testing.T) {
 	if err := bb.SetDepth(2); err != nil {
 		t.Fatal(err)
 	}
-	asg := EncodeBackbone(bb, 0.5, 2, pareto.Candidate{W: 0.5, D: 2})
+	asg := EncodeBackbone(bb, 0.5, 2, pareto.Candidate{W: 0.5, D: 2}, QuantLossless)
 
 	// Through the wire.
 	raw, err := transport.Encode(asg)
@@ -81,8 +81,8 @@ func TestHeaderCodecRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pkg := EncodeHeader(h)
-	pkg.Backbone = EncodeBackbone(bb, 1, 3, pareto.Candidate{})
+	pkg := EncodeHeader(h, QuantLossless)
+	pkg.Backbone = EncodeBackbone(bb, 1, 3, pareto.Candidate{}, QuantLossless)
 
 	raw, err := transport.Encode(pkg)
 	if err != nil {
@@ -135,12 +135,12 @@ func TestQuantizeRoundTrip(t *testing.T) {
 func TestDecodeBackboneRejectsCorruptMasks(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	bb := codecBackbone(t, rng)
-	asg := EncodeBackbone(bb, 1, 3, pareto.Candidate{})
+	asg := EncodeBackbone(bb, 1, 3, pareto.Candidate{}, QuantLossless)
 	asg.HeadMasks = asg.HeadMasks[:1]
 	if _, err := DecodeBackbone(asg); err == nil {
 		t.Fatal("expected mask-count error")
 	}
-	asg2 := EncodeBackbone(bb, 1, 3, pareto.Candidate{})
+	asg2 := EncodeBackbone(bb, 1, 3, pareto.Candidate{}, QuantLossless)
 	asg2.Params[0].Data = asg2.Params[0].Data[:1]
 	if _, err := DecodeBackbone(asg2); err == nil {
 		t.Fatal("expected param-size error")

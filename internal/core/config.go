@@ -15,6 +15,7 @@ import (
 	"acme/internal/nn"
 	"acme/internal/pareto"
 	"acme/internal/prune"
+	"acme/internal/transport"
 )
 
 // Config assembles every knob of a full ACME run.
@@ -93,6 +94,17 @@ type Config struct {
 	// unchanged (default: GOMAXPROCS). Results are bitwise independent
 	// of the setting; it only trades cores for wall time.
 	Parallelism int
+
+	// WireFormat selects the payload codec for protocol messages:
+	// "binary" (default — compact pooled wire codec, what Table I's
+	// traffic numbers measure) or "gob" (legacy, kept for
+	// compatibility runs). In TCP mode every process must agree.
+	WireFormat string
+	// Quantization selects the precision of parameter and importance
+	// payloads. Lossless (default) reproduces bitwise-identical
+	// results across codecs; QuantFloat16/QuantInt8 deterministically
+	// compress model traffic 4×/8× at bounded precision cost.
+	Quantization QuantMode
 
 	Seed int64
 }
@@ -197,6 +209,11 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: negative phase-2 rounds")
 	case c.Parallelism < 0:
 		return fmt.Errorf("core: negative parallelism %d", c.Parallelism)
+	case !c.Quantization.Valid():
+		return fmt.Errorf("core: unknown quantization mode %d", int(c.Quantization))
+	}
+	if _, err := transport.CodecByName(c.WireFormat); err != nil {
+		return err
 	}
 	for _, d := range c.Depths {
 		if d <= 0 || d > c.Backbone.Depth {

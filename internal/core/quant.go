@@ -1,0 +1,246 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// QuantMode selects the precision of model-parameter and
+// importance-set payloads on the wire. Lossless (the default) ships
+// exact values, so seeded runs reproduce bitwise-identical results
+// regardless of codec; float16 and int8 are opt-in deterministic
+// compressions for bandwidth-bound deployments.
+type QuantMode int
+
+// Quantization modes.
+const (
+	// QuantLossless ships float64 parameters and float32 importance
+	// values exactly.
+	QuantLossless QuantMode = iota
+	// QuantFloat16 rounds values to IEEE 754 half precision
+	// (round-to-nearest-even): 4× smaller parameters, ~2^-11 relative
+	// error for in-range values.
+	QuantFloat16
+	// QuantInt8 scales each tensor to its max-abs value and rounds to
+	// signed bytes: 8× smaller parameters, absolute error bounded by
+	// maxAbs/254 per tensor.
+	QuantInt8
+)
+
+// String implements fmt.Stringer.
+func (m QuantMode) String() string {
+	switch m {
+	case QuantLossless:
+		return "lossless"
+	case QuantFloat16:
+		return "float16"
+	case QuantInt8:
+		return "int8"
+	default:
+		return fmt.Sprintf("QuantMode(%d)", int(m))
+	}
+}
+
+// ParseQuantMode resolves a configuration string; "" selects lossless.
+func ParseQuantMode(s string) (QuantMode, error) {
+	switch s {
+	case "", "lossless":
+		return QuantLossless, nil
+	case "float16", "f16":
+		return QuantFloat16, nil
+	case "int8":
+		return QuantInt8, nil
+	default:
+		return 0, fmt.Errorf("core: unknown quantization %q (want lossless, float16 or int8)", s)
+	}
+}
+
+// Valid reports whether m is a known mode.
+func (m QuantMode) Valid() bool {
+	return m == QuantLossless || m == QuantFloat16 || m == QuantInt8
+}
+
+// float16bits converts a float64 to IEEE 754 binary16 with
+// round-to-nearest-even, the same deterministic rule on every
+// platform. Out-of-range magnitudes saturate to ±Inf, NaN is
+// preserved, and subnormal halves are produced for tiny values.
+func float16bits(f float64) uint16 {
+	b := math.Float64bits(f)
+	sign := uint16(b >> 48 & 0x8000)
+	if math.IsNaN(f) {
+		return sign | 0x7e00
+	}
+	if math.IsInf(f, 0) {
+		return sign | 0x7c00
+	}
+	exp := int(b>>52&0x7ff) - 1023
+	mant := b & 0xfffffffffffff
+	switch {
+	case exp > 15:
+		return sign | 0x7c00 // overflow → ±Inf
+	case exp >= -14:
+		// Normal half: 10 mantissa bits, round to nearest even on the
+		// 42 dropped bits.
+		m := mant >> 42
+		rest := mant & (1<<42 - 1)
+		half := uint64(1) << 41
+		if rest > half || (rest == half && m&1 == 1) {
+			m++
+		}
+		v := (uint64(exp+15) << 10) + m // mantissa carry bumps the exponent correctly
+		return sign | uint16(v)
+	case exp >= -24:
+		// Subnormal half: implicit leading bit becomes explicit.
+		shift := uint(-exp - 14 + 42)
+		full := mant | 1<<52
+		m := full >> shift
+		rest := full & (1<<shift - 1)
+		half := uint64(1) << (shift - 1)
+		if rest > half || (rest == half && m&1 == 1) {
+			m++
+		}
+		return sign | uint16(m)
+	default:
+		return sign // underflow → ±0
+	}
+}
+
+// float16value expands IEEE 754 binary16 bits to float64.
+func float16value(h uint16) float64 {
+	sign := float64(1)
+	if h&0x8000 != 0 {
+		sign = -1
+	}
+	exp := int(h >> 10 & 0x1f)
+	mant := float64(h & 0x3ff)
+	switch exp {
+	case 0:
+		return sign * mant * math.Pow(2, -24) // subnormal (or zero)
+	case 0x1f:
+		if mant != 0 {
+			return math.NaN()
+		}
+		return sign * math.Inf(1)
+	default:
+		return sign * (1 + mant/1024) * math.Pow(2, float64(exp-15))
+	}
+}
+
+// int8Scale returns the per-tensor scale factor mapping values into
+// [-127, 127].
+func int8Scale(maxAbs float64) float64 {
+	if maxAbs == 0 {
+		return 0
+	}
+	return maxAbs / 127
+}
+
+func maxAbs64(vals []float64) float64 {
+	var m float64
+	for _, v := range vals {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// quantizeValues packs vals according to mode: float16 → 2 bytes LE
+// per value, int8 → 1 byte per value plus the returned scale.
+func quantizeValues(vals []float64, mode QuantMode) (data []byte, scale float64, err error) {
+	switch mode {
+	case QuantFloat16:
+		data = make([]byte, 2*len(vals))
+		for i, v := range vals {
+			binary.LittleEndian.PutUint16(data[2*i:], float16bits(v))
+		}
+		return data, 0, nil
+	case QuantInt8:
+		scale = int8Scale(maxAbs64(vals))
+		data = make([]byte, len(vals))
+		if scale == 0 {
+			return data, 0, nil
+		}
+		for i, v := range vals {
+			q := math.RoundToEven(v / scale)
+			if q > 127 {
+				q = 127
+			} else if q < -127 {
+				q = -127
+			}
+			data[i] = byte(int8(q))
+		}
+		return data, scale, nil
+	default:
+		return nil, 0, fmt.Errorf("core: quantizeValues: mode %v has no packed form", mode)
+	}
+}
+
+// dequantizeValues reverses quantizeValues into dst, which must have
+// the element count the packed data encodes.
+func dequantizeValues(dst []float64, data []byte, scale float64, mode QuantMode) error {
+	switch mode {
+	case QuantFloat16:
+		if len(data) != 2*len(dst) {
+			return fmt.Errorf("core: float16 payload %d bytes for %d values", len(data), len(dst))
+		}
+		for i := range dst {
+			dst[i] = float16value(binary.LittleEndian.Uint16(data[2*i:]))
+		}
+		return nil
+	case QuantInt8:
+		if len(data) != len(dst) {
+			return fmt.Errorf("core: int8 payload %d bytes for %d values", len(data), len(dst))
+		}
+		for i := range dst {
+			dst[i] = float64(int8(data[i])) * scale
+		}
+		return nil
+	default:
+		return fmt.Errorf("core: dequantizeValues: mode %v has no packed form", mode)
+	}
+}
+
+// QuantLayer is one quantized importance layer: packed values plus the
+// int8 scale factor (unused for float16).
+type QuantLayer struct {
+	Mode  QuantMode
+	Scale float64
+	N     int
+	Data  []byte
+}
+
+// quantizeLayers packs dense importance layers for the wire.
+func quantizeLayers(layers [][]float64, mode QuantMode) ([]QuantLayer, error) {
+	out := make([]QuantLayer, len(layers))
+	for i, l := range layers {
+		data, scale, err := quantizeValues(l, mode)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = QuantLayer{Mode: mode, Scale: scale, N: len(l), Data: data}
+	}
+	return out, nil
+}
+
+// dequantizeLayers reverses quantizeLayers. Every field is
+// wire-controlled, so the mode and element count are validated before
+// any allocation sized from them.
+func dequantizeLayers(qs []QuantLayer) ([][]float64, error) {
+	out := make([][]float64, len(qs))
+	for i, q := range qs {
+		valid := q.N >= 0 &&
+			((q.Mode == QuantInt8 && q.N == len(q.Data)) ||
+				(q.Mode == QuantFloat16 && 2*q.N == len(q.Data)))
+		if !valid {
+			return nil, fmt.Errorf("core: quant layer %d: %d values vs %d bytes (%v)", i, q.N, len(q.Data), q.Mode)
+		}
+		row := make([]float64, q.N)
+		if err := dequantizeValues(row, q.Data, q.Scale, q.Mode); err != nil {
+			return nil, err
+		}
+		out[i] = row
+	}
+	return out, nil
+}

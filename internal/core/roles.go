@@ -41,7 +41,7 @@ func (s *System) runCloud(ctx context.Context) error {
 			return err
 		}
 		var cs ClusterStats
-		if err := transport.Decode(msg.Payload, &cs); err != nil {
+		if err := s.decode(msg.Payload, &cs); err != nil {
 			return err
 		}
 		stats[cs.EdgeID] = cs
@@ -73,8 +73,8 @@ func (s *System) runCloud(ctx context.Context) error {
 			return fmt.Errorf("edge %d: distill: %w", edgeID, err)
 		}
 		s.recordAssignment(edgeID, selected)
-		asg := EncodeBackbone(student.Backbone, selected.W, selected.D, selected)
-		if err := transport.SendValue(s.Net, transport.KindBackbone, "cloud", edgeName(edgeID), asg); err != nil {
+		asg := EncodeBackbone(student.Backbone, selected.W, selected.D, selected, s.Cfg.Quantization)
+		if err := s.send(transport.KindBackbone, "cloud", edgeName(edgeID), asg); err != nil {
 			return err
 		}
 	}
@@ -160,13 +160,13 @@ func (s *System) runEdge(ctx context.Context, edgeID int) error {
 		switch msg.Kind {
 		case transport.KindStats:
 			var ds DeviceStats
-			if err := transport.Decode(msg.Payload, &ds); err != nil {
+			if err := s.decode(msg.Payload, &ds); err != nil {
 				return err
 			}
 			devStats[ds.ID] = ds
 		case transport.KindProvision:
 			var sh RawShard
-			if err := transport.Decode(msg.Payload, &sh); err != nil {
+			if err := s.decode(msg.Payload, &sh); err != nil {
 				return err
 			}
 			shards[sh.DeviceID] = sh
@@ -189,7 +189,7 @@ func (s *System) runEdge(ctx context.Context, edgeID int) error {
 		}
 		cs.DeviceIDs = append(cs.DeviceIDs, d.ID)
 	}
-	if err := transport.SendValue(s.Net, transport.KindStats, name, "cloud", cs); err != nil {
+	if err := s.send(transport.KindStats, name, "cloud", cs); err != nil {
 		return err
 	}
 
@@ -199,7 +199,7 @@ func (s *System) runEdge(ctx context.Context, edgeID int) error {
 		return err
 	}
 	var asg BackboneAssignment
-	if err := transport.Decode(msg.Payload, &asg); err != nil {
+	if err := s.decode(msg.Payload, &asg); err != nil {
 		return err
 	}
 	backbone, err := DecodeBackbone(asg)
@@ -225,10 +225,10 @@ func (s *System) runEdge(ctx context.Context, edgeID int) error {
 
 	// 5. Distribute backbone + header to devices. The backbone may have
 	// been fine-tuned during search, so re-encode it.
-	asg2 := EncodeBackbone(backbone, asg.W, asg.D, asg.Candidate)
-	pkg := HeaderPackage{Backbone: asg2, HeaderCfg: header.Cfg, Arch: arch, HeaderParams: EncodeHeader(header).HeaderParams}
+	asg2 := EncodeBackbone(backbone, asg.W, asg.D, asg.Candidate, s.Cfg.Quantization)
+	pkg := HeaderPackage{Backbone: asg2, HeaderCfg: header.Cfg, Arch: arch, HeaderParams: EncodeHeader(header, s.Cfg.Quantization).HeaderParams}
 	for _, di := range members {
-		if err := transport.SendValue(s.Net, transport.KindHeader, name, s.devices[di].Name(), pkg); err != nil {
+		if err := s.send(transport.KindHeader, name, s.devices[di].Name(), pkg); err != nil {
 			return err
 		}
 	}
@@ -254,18 +254,18 @@ func (s *System) runEdge(ctx context.Context, edgeID int) error {
 				return err
 			}
 			var up ImportanceUpload
-			if err := transport.Decode(msg.Payload, &up); err != nil {
+			if err := s.decode(msg.Payload, &up); err != nil {
 				return err
 			}
 			p, ok := pos[up.DeviceID]
 			if !ok {
 				return fmt.Errorf("importance set from unknown device %d", up.DeviceID)
 			}
-			if len(up.Sparse) > 0 {
-				sets[p] = &importance.Set{Layers: densifySet(up.Sparse)}
-			} else {
-				sets[p] = &importance.Set{Layers: dequantizeSet(up.Layers)}
+			layers, err := up.layers()
+			if err != nil {
+				return err
 			}
+			sets[p] = &importance.Set{Layers: layers}
 		}
 		combined, err := aggregate.Combine(sets, sim)
 		if err != nil {
@@ -283,8 +283,16 @@ func (s *System) runEdge(ctx context.Context, edgeID int) error {
 		prev = combined
 		discard := s.Cfg.DiscardPerRound * (t + 1)
 		for i, di := range order {
-			ps := PersonalizedSet{Layers: quantizeSet(combined[i].Layers), Discard: discard, Done: done}
-			if err := transport.SendValue(s.Net, transport.KindPersonalizedSet, name, s.devices[di].Name(), ps); err != nil {
+			ps := PersonalizedSet{Discard: discard, Done: done}
+			if s.Cfg.Quantization != QuantLossless {
+				ps.Quant, err = quantizeLayers(combined[i].Layers, s.Cfg.Quantization)
+				if err != nil {
+					return err
+				}
+			} else {
+				ps.Layers = quantizeSet(combined[i].Layers)
+			}
+			if err := s.send(transport.KindPersonalizedSet, name, s.devices[di].Name(), ps); err != nil {
 				return err
 			}
 		}
@@ -397,7 +405,7 @@ func (s *System) runDevice(ctx context.Context, edgeID, devIdx int) error {
 		ID: dev.ID, VCPUs: dev.VCPUs, GPU: dev.GPU,
 		Storage: dev.Storage, Profile: dev.Profile, NumSamples: local.Len(),
 	}
-	if err := transport.SendValue(s.Net, transport.KindStats, name, edge, ds); err != nil {
+	if err := s.send(transport.KindStats, name, edge, ds); err != nil {
 		return err
 	}
 	nShared := int(s.Cfg.SharedFraction * float64(local.Len()))
@@ -409,7 +417,7 @@ func (s *System) runDevice(ctx context.Context, edgeID, devIdx int) error {
 	// The paper assumes the edge already stores this 10-20% shared slice
 	// (§IV-A); the simulation ships it at setup under the provisioning
 	// kind, which Table I accounting excludes.
-	if err := transport.SendValue(s.Net, transport.KindProvision, name, edge, shard); err != nil {
+	if err := s.send(transport.KindProvision, name, edge, shard); err != nil {
 		return err
 	}
 
@@ -419,7 +427,7 @@ func (s *System) runDevice(ctx context.Context, edgeID, devIdx int) error {
 		return err
 	}
 	var pkg HeaderPackage
-	if err := transport.Decode(msg.Payload, &pkg); err != nil {
+	if err := s.decode(msg.Payload, &pkg); err != nil {
 		return err
 	}
 	backbone, err := DecodeBackbone(pkg.Backbone)
@@ -452,10 +460,15 @@ func (s *System) runDevice(ctx context.Context, edgeID, devIdx int) error {
 		up := ImportanceUpload{DeviceID: dev.ID}
 		if frac := s.Cfg.TopKFraction; frac > 0 && frac < 1 {
 			up.Sparse = sparsifySet(set.Layers, frac)
+		} else if s.Cfg.Quantization != QuantLossless {
+			up.Quant, err = quantizeLayers(set.Layers, s.Cfg.Quantization)
+			if err != nil {
+				return err
+			}
 		} else {
 			up.Layers = quantizeSet(set.Layers)
 		}
-		if err := transport.SendValue(s.Net, transport.KindImportanceSet, name, edge, up); err != nil {
+		if err := s.send(transport.KindImportanceSet, name, edge, up); err != nil {
 			return err
 		}
 		msg, err := transport.RecvKind(ctx, s.Net, name, transport.KindPersonalizedSet)
@@ -463,10 +476,14 @@ func (s *System) runDevice(ctx context.Context, edgeID, devIdx int) error {
 			return err
 		}
 		var ps PersonalizedSet
-		if err := transport.Decode(msg.Payload, &ps); err != nil {
+		if err := s.decode(msg.Payload, &ps); err != nil {
 			return err
 		}
-		if err := header.ApplyImportance(&importance.Set{Layers: dequantizeSet(ps.Layers)}, ps.Discard); err != nil {
+		psLayers, err := ps.layers()
+		if err != nil {
+			return err
+		}
+		if err := header.ApplyImportance(&importance.Set{Layers: psLayers}, ps.Discard); err != nil {
 			return err
 		}
 		if err := header.TrainLocal(local, 1, s.Cfg.LocalBatch, s.Cfg.LocalLR, rng); err != nil {
@@ -498,5 +515,5 @@ func (s *System) runDevice(ctx context.Context, edgeID, devIdx int) error {
 		BackboneParams: backbone.ActiveParamCount(),
 		HeaderParams:   header.ActiveParamCount(),
 	}
-	return transport.SendValue(s.Net, transport.KindControl, name, "collector", report)
+	return s.send(transport.KindControl, name, "collector", report)
 }

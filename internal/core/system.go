@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -70,6 +71,7 @@ type System struct {
 	Cfg Config
 	Net transport.Network
 
+	codec    transport.Codec
 	devices  []cluster.Device
 	clusters [][]int // edge id → device indices
 	gen      *data.Generator
@@ -93,6 +95,10 @@ func NewSystem(cfg Config) (*System, error) {
 	// clobbers a -parallel flag applied earlier.
 	if cfg.Parallelism > 0 {
 		tensor.SetParallelism(cfg.Parallelism)
+	}
+	codec, err := transport.CodecByName(cfg.WireFormat)
+	if err != nil {
+		return nil, err
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	gen, err := data.NewGenerator(cfg.Dataset)
@@ -149,6 +155,7 @@ func NewSystem(cfg Config) (*System, error) {
 	s := &System{
 		Cfg:         cfg,
 		Net:         mem,
+		codec:       codec,
 		devices:     devices,
 		clusters:    clusters,
 		gen:         gen,
@@ -198,6 +205,17 @@ func (s *System) DeviceTest(i int) *data.Dataset { return s.devTest[i] }
 
 func edgeName(e int) string { return fmt.Sprintf("edge-%d", e) }
 
+// send encodes v with the configured wire codec and sends it as one
+// message, recording raw-vs-wire byte accounting.
+func (s *System) send(kind transport.Kind, from, to string, v any) error {
+	return transport.SendValue(s.Net, s.codec, kind, from, to, v)
+}
+
+// decode deserializes a payload with the configured wire codec.
+func (s *System) decode(data []byte, v any) error {
+	return s.codec.Decode(data, v)
+}
+
 // Run executes the full pipeline: Phase 1 on the cloud, Phase 2-1 on
 // the edges, and the Phase 2-2 single loop between edges and devices.
 // All roles run concurrently and communicate only via the network.
@@ -205,6 +223,8 @@ func (s *System) Run(ctx context.Context) (*Result, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	// Buffered for one error per launched role, so every failure is
+	// collected (and joined) rather than first-write-wins.
 	errc := make(chan error, 1+len(s.clusters)+len(s.devices))
 	var wg sync.WaitGroup
 
@@ -213,10 +233,7 @@ func (s *System) Run(ctx context.Context) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			if err := fn(ctx); err != nil {
-				select {
-				case errc <- fmt.Errorf("%s: %w", name, err):
-				default:
-				}
+				errc <- fmt.Errorf("%s: %w", name, err)
 				cancel()
 			}
 		}()
@@ -244,7 +261,7 @@ func (s *System) Run(ctx context.Context) (*Result, error) {
 			break
 		}
 		var rep DeviceReport
-		if err := transport.Decode(msg.Payload, &rep); err != nil {
+		if err := s.decode(msg.Payload, &rep); err != nil {
 			collectErr = err
 			break
 		}
@@ -252,7 +269,15 @@ func (s *System) Run(ctx context.Context) (*Result, error) {
 	}
 	wg.Wait()
 	close(errc)
+	// A failing role cancels ctx, which also aborts the collector with
+	// a context error — the role errors are the cause, the collector
+	// error just noise. Join every role error; surface collectErr only
+	// when no role failed.
+	var roleErrs []error
 	for err := range errc {
+		roleErrs = append(roleErrs, err)
+	}
+	if err := errors.Join(roleErrs...); err != nil {
 		return nil, err
 	}
 	if collectErr != nil {
@@ -305,7 +330,7 @@ func (s *System) RunRole(ctx context.Context, role string) (*Result, error) {
 				return nil, err
 			}
 			var rep DeviceReport
-			if err := transport.Decode(msg.Payload, &rep); err != nil {
+			if err := s.decode(msg.Payload, &rep); err != nil {
 				return nil, err
 			}
 			reports = append(reports, rep)
@@ -341,7 +366,9 @@ func (s *System) RoleNames() []string {
 }
 
 // centralizedBytes estimates the CS baseline's upload: every device
-// ships its full local training shard to the cloud.
+// ships its full local training shard to the cloud. It uses the same
+// wire codec as the ACME run so the Table I comparison is
+// apples-to-apples.
 func (s *System) centralizedBytes() int64 {
 	var total int64
 	for i := range s.devTrain {
@@ -351,7 +378,7 @@ func (s *System) centralizedBytes() int64 {
 			Y:         s.devTrain[i].Y,
 			Histogram: s.devTrain[i].ClassHistogram(),
 		}
-		if payload, err := transport.Encode(shard); err == nil {
+		if payload, err := s.codec.Encode(shard); err == nil {
 			total += int64(len(payload)) + 16
 		}
 	}

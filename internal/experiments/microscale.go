@@ -206,6 +206,7 @@ func Fig11(seeds int) (*Table, error) {
 }
 
 func runSystem(cfg core.Config) (*core.Result, error) {
+	applyWireOptions(&cfg)
 	sys, err := core.NewSystem(cfg)
 	if err != nil {
 		return nil, err
@@ -230,11 +231,13 @@ func Table1Measured() (*Table, error) {
 	}
 	t.AddRow("ACME uplink (stats+importance)", fmt.Sprint(res.UploadBytes))
 	t.AddRow("CS uplink (full local datasets)", fmt.Sprint(res.CentralizedUploadBytes))
-	for kind, n := range res.Stats.BytesByKind() {
-		t.AddRow("kind "+kind.String(), fmt.Sprint(n))
+	byKind := res.Stats.BytesByKind()
+	for _, kind := range res.Stats.Kinds() {
+		t.AddRow("kind "+kind.String(), fmt.Sprint(byKind[kind]))
 	}
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("search space: ours %.2g vs CS %.2g architectures", res.SearchSpaceOurs, res.SearchSpaceCS),
+		fmt.Sprintf("wire codec ratio (in-memory/wire bytes): %.2f", res.Stats.CompressionRatio()),
 		"micro-scale payloads invert the data/set size ratio; Table 1 uses paper-scale units")
 	return t, nil
 }

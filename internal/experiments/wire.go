@@ -1,0 +1,27 @@
+package experiments
+
+import "acme/internal/core"
+
+// Wire options applied to every measured system run, settable from
+// acmebench's -wire/-quant flags. Zero values keep the config
+// defaults (binary codec, lossless payloads).
+var (
+	wireFormat string
+	quantMode  core.QuantMode
+)
+
+// SetWireOptions overrides the wire format and quantization used by
+// the measured (micro-scale) experiments.
+func SetWireOptions(format string, quant core.QuantMode) {
+	wireFormat = format
+	quantMode = quant
+}
+
+func applyWireOptions(cfg *core.Config) {
+	if wireFormat != "" {
+		cfg.WireFormat = wireFormat
+	}
+	if quantMode != core.QuantLossless {
+		cfg.Quantization = quantMode
+	}
+}

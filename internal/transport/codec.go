@@ -1,0 +1,81 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"acme/internal/wire"
+)
+
+// Codec serializes protocol payloads. The binary codec is the default
+// wire format; gob remains available behind the same interface so
+// compatibility tests can diff the two paths and old tooling keeps
+// working.
+type Codec interface {
+	// Name identifies the codec ("binary", "gob").
+	Name() string
+	// Encode serializes v into a payload the codec's Decode reverses.
+	Encode(v any) ([]byte, error)
+	// Decode deserializes data into v (a non-nil pointer).
+	Decode(data []byte, v any) error
+}
+
+// Gob is the legacy gob-based codec: full type metadata per message,
+// kept for compatibility tests and checkpoint files.
+var Gob Codec = gobCodec{}
+
+// Binary is the compact pooled wire codec (internal/wire): varint
+// headers, typed frames, packed float payloads.
+var Binary Codec = binaryCodec{}
+
+type gobCodec struct{}
+
+func (gobCodec) Name() string { return "gob" }
+
+func (gobCodec) Encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("transport: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func (gobCodec) Decode(data []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
+		return fmt.Errorf("transport: decode: %w", err)
+	}
+	return nil
+}
+
+type binaryCodec struct{}
+
+func (binaryCodec) Name() string { return "binary" }
+
+func (binaryCodec) Encode(v any) ([]byte, error) {
+	payload, err := wire.Encode(v)
+	if err != nil {
+		return nil, fmt.Errorf("transport: encode: %w", err)
+	}
+	return payload, nil
+}
+
+func (binaryCodec) Decode(data []byte, v any) error {
+	if err := wire.Decode(data, v); err != nil {
+		return fmt.Errorf("transport: decode: %w", err)
+	}
+	return nil
+}
+
+// CodecByName resolves a codec from its configuration name. The empty
+// string selects the default binary codec.
+func CodecByName(name string) (Codec, error) {
+	switch name {
+	case "", "binary":
+		return Binary, nil
+	case "gob":
+		return Gob, nil
+	default:
+		return nil, fmt.Errorf("transport: unknown wire format %q (want binary or gob)", name)
+	}
+}

@@ -67,5 +67,16 @@ func (f *Flaky) Recv(ctx context.Context, node string) (Message, error) {
 	return f.inner.Recv(ctx, node)
 }
 
+// Stats exposes the wrapped network's traffic counters, so byte
+// accounting survives failure injection. Returns empty counters when
+// the inner network does not track traffic.
+func (f *Flaky) Stats() *Stats {
+	type statser interface{ Stats() *Stats }
+	if s, ok := f.inner.(statser); ok {
+		return s.Stats()
+	}
+	return NewStats()
+}
+
 // Wait blocks until all in-flight deliveries have completed.
 func (f *Flaky) Wait() { f.wg.Wait() }

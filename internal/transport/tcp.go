@@ -13,8 +13,8 @@ import (
 // TCP is a Network over real sockets: every node runs a listener and
 // peers dial each other on demand. Wire format per message:
 //
-//	uint32 frame length | uint8 kind | uint16 fromLen | from |
-//	uint16 toLen | to | payload
+//	varint bodyLen | uint8 kind | varint fromLen | from |
+//	varint toLen | to | payload
 //
 // Used by cmd/acmenode to run cloud, edge, and device roles as separate
 // OS processes.
@@ -203,53 +203,96 @@ func (t *TCP) Close() error {
 	return err
 }
 
+// maxFrame bounds a single message frame so a corrupt length prefix
+// cannot trigger a gigantic allocation.
+const maxFrame = 1 << 30
+
+// frameBuf is a pooled scratch buffer so each Send assembles its frame
+// without a fresh allocation (params and importance sets make this the
+// TCP hot path).
+type frameBuf struct{ b []byte }
+
+var framePool = sync.Pool{New: func() any { return &frameBuf{b: make([]byte, 0, 4096)} }}
+
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+// writeFrame emits one varint-framed message:
+//
+//	varint bodyLen | uint8 kind | varint fromLen | from |
+//	varint toLen | to | payload
 func writeFrame(w io.Writer, msg Message) error {
-	frame := make([]byte, 0, 4+1+2+len(msg.From)+2+len(msg.To)+len(msg.Payload))
-	body := make([]byte, 0, 1+2+len(msg.From)+2+len(msg.To)+len(msg.Payload))
-	body = append(body, byte(msg.Kind))
-	body = binary.BigEndian.AppendUint16(body, uint16(len(msg.From)))
-	body = append(body, msg.From...)
-	body = binary.BigEndian.AppendUint16(body, uint16(len(msg.To)))
-	body = append(body, msg.To...)
-	body = append(body, msg.Payload...)
-	frame = binary.BigEndian.AppendUint32(frame, uint32(len(body)))
-	frame = append(frame, body...)
-	_, err := w.Write(frame)
+	bodyLen := 1 +
+		uvarintLen(uint64(len(msg.From))) + len(msg.From) +
+		uvarintLen(uint64(len(msg.To))) + len(msg.To) +
+		len(msg.Payload)
+	f := framePool.Get().(*frameBuf)
+	b := binary.AppendUvarint(f.b[:0], uint64(bodyLen))
+	b = append(b, byte(msg.Kind))
+	b = binary.AppendUvarint(b, uint64(len(msg.From)))
+	b = append(b, msg.From...)
+	b = binary.AppendUvarint(b, uint64(len(msg.To)))
+	b = append(b, msg.To...)
+	b = append(b, msg.Payload...)
+	_, err := w.Write(b)
+	f.b = b[:0]
+	framePool.Put(f)
 	return err
 }
 
-func readFrame(r io.Reader) (Message, error) {
-	var lenBuf [4]byte
-	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+// frameReader is what readFrame needs: buffered byte-wise access for
+// the varint length prefix plus bulk reads for the body.
+type frameReader interface {
+	io.Reader
+	io.ByteReader
+}
+
+func readFrame(r frameReader) (Message, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
 		return Message{}, err
 	}
-	n := binary.BigEndian.Uint32(lenBuf[:])
-	if n > 1<<30 {
+	if n > maxFrame {
 		return Message{}, fmt.Errorf("transport: frame too large: %d", n)
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {
 		return Message{}, err
 	}
-	if len(body) < 5 {
+	if len(body) < 3 {
 		return Message{}, fmt.Errorf("transport: short frame")
 	}
 	msg := Message{Kind: Kind(body[0])}
 	off := 1
-	fl := int(binary.BigEndian.Uint16(body[off:]))
-	off += 2
-	if off+fl > len(body) {
-		return Message{}, fmt.Errorf("transport: bad from length")
+	from, off, err := frameString(body, off)
+	if err != nil {
+		return Message{}, fmt.Errorf("transport: bad from field: %w", err)
 	}
-	msg.From = string(body[off : off+fl])
-	off += fl
-	tl := int(binary.BigEndian.Uint16(body[off:]))
-	off += 2
-	if off+tl > len(body) {
-		return Message{}, fmt.Errorf("transport: bad to length")
+	msg.From = from
+	to, off, err := frameString(body, off)
+	if err != nil {
+		return Message{}, fmt.Errorf("transport: bad to field: %w", err)
 	}
-	msg.To = string(body[off : off+tl])
-	off += tl
+	msg.To = to
 	msg.Payload = body[off:]
 	return msg, nil
+}
+
+// frameString reads a varint-prefixed string out of a frame body.
+func frameString(body []byte, off int) (string, int, error) {
+	u, n := binary.Uvarint(body[off:])
+	if n <= 0 {
+		return "", 0, fmt.Errorf("bad length varint")
+	}
+	off += n
+	if u > uint64(len(body)-off) {
+		return "", 0, fmt.Errorf("length %d exceeds frame", u)
+	}
+	return string(body[off : off+int(u)]), off + int(u), nil
 }

@@ -3,6 +3,7 @@ package transport
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"testing"
 	"time"
 )
@@ -145,10 +146,23 @@ func TestFrameRoundTrip(t *testing.T) {
 }
 
 func TestReadFrameRejectsGarbage(t *testing.T) {
-	// Oversized frame length must be rejected rather than allocated.
+	// A truncated length varint must error, not hang or panic.
 	var buf bytes.Buffer
 	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
 	if _, err := readFrame(&buf); err == nil {
+		t.Fatal("expected truncated-varint error")
+	}
+	// An oversized frame length must be rejected before allocation.
+	var big bytes.Buffer
+	big.Write(binary.AppendUvarint(nil, maxFrame+1))
+	if _, err := readFrame(&big); err == nil {
 		t.Fatal("expected frame-too-large error")
+	}
+	// A frame whose name lengths overrun the body must be rejected.
+	var bad bytes.Buffer
+	bad.Write(binary.AppendUvarint(nil, 4))
+	bad.Write([]byte{byte(KindStats), 0x7f, 'x', 'y'})
+	if _, err := readFrame(&bad); err == nil {
+		t.Fatal("expected bad-name-length error")
 	}
 }

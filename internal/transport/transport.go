@@ -1,16 +1,19 @@
 // Package transport provides the messaging substrate of the
-// bidirectional single-loop distributed system: typed messages with gob
-// payload encoding, per-sender/per-kind byte accounting (the data that
-// feeds Table I), an in-memory network for single-process simulation,
-// and a TCP network for multi-process deployment (cmd/acmenode).
+// bidirectional single-loop distributed system: typed messages with
+// pluggable payload codecs (compact binary by default, gob for
+// compatibility), per-sender/per-kind byte accounting including
+// raw-vs-wire compression ratios (the data that feeds Table I), an
+// in-memory network for single-process simulation, and a TCP network
+// for multi-process deployment (cmd/acmenode).
 package transport
 
 import (
-	"bytes"
 	"context"
-	"encoding/gob"
 	"fmt"
+	"sort"
 	"sync"
+
+	"acme/internal/wire"
 )
 
 // Kind tags the protocol message types exchanged by the system.
@@ -58,24 +61,20 @@ type Message struct {
 	From    string
 	To      string
 	Payload []byte
+	// Raw is the logical in-memory size of the payload before
+	// encoding (see wire.RawSize). It is sender-side accounting only
+	// and never travels over a socket.
+	Raw int
 }
 
-// Encode gob-serializes v.
-func Encode(v any) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
-		return nil, fmt.Errorf("transport: encode: %w", err)
-	}
-	return buf.Bytes(), nil
-}
+// Encode gob-serializes v. Deprecated in the protocol path — messages
+// go through a Codec — but kept for checkpoint files and tests that
+// need the legacy format.
+func Encode(v any) ([]byte, error) { return Gob.Encode(v) }
 
-// Decode gob-deserializes data into v (a pointer).
-func Decode(data []byte, v any) error {
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
-		return fmt.Errorf("transport: decode: %w", err)
-	}
-	return nil
-}
+// Decode gob-deserializes data into v (a pointer). Counterpart of
+// Encode; protocol payloads are decoded through the sending Codec.
+func Decode(data []byte, v any) error { return Gob.Decode(data, v) }
 
 // Network moves messages between named nodes.
 type Network interface {
@@ -87,14 +86,18 @@ type Network interface {
 	Recv(ctx context.Context, node string) (Message, error)
 }
 
-// Stats aggregates traffic counters. All byte counts include the
-// payload plus a fixed per-message header estimate.
+// Stats aggregates traffic counters. Wire byte counts include the
+// payload plus a fixed per-message header estimate; raw byte counts
+// are the logical in-memory payload sizes before encoding, so the
+// raw/wire quotient is the measured compression ratio of the codec.
 type Stats struct {
 	mu           sync.Mutex
 	bytesBySrc   map[string]int64
 	bytesByKind  map[Kind]int64
+	rawByKind    map[Kind]int64
 	msgsByKind   map[Kind]int64
 	totalBytes   int64
+	totalRaw     int64
 	totalMsgs    int64
 	headerEstLen int64
 }
@@ -104,6 +107,7 @@ func NewStats() *Stats {
 	return &Stats{
 		bytesBySrc:   make(map[string]int64),
 		bytesByKind:  make(map[Kind]int64),
+		rawByKind:    make(map[Kind]int64),
 		msgsByKind:   make(map[Kind]int64),
 		headerEstLen: 16,
 	}
@@ -115,8 +119,10 @@ func (s *Stats) record(msg Message) {
 	defer s.mu.Unlock()
 	s.bytesBySrc[msg.From] += n
 	s.bytesByKind[msg.Kind] += n
+	s.rawByKind[msg.Kind] += int64(msg.Raw)
 	s.msgsByKind[msg.Kind]++
 	s.totalBytes += n
+	s.totalRaw += int64(msg.Raw)
 	s.totalMsgs++
 }
 
@@ -152,7 +158,7 @@ func (s *Stats) MessagesByKind() map[Kind]int64 {
 	return out
 }
 
-// BytesByKind returns a copy of the per-kind byte counters.
+// BytesByKind returns a copy of the per-kind wire byte counters.
 func (s *Stats) BytesByKind() map[Kind]int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -160,6 +166,51 @@ func (s *Stats) BytesByKind() map[Kind]int64 {
 	for k, v := range s.bytesByKind {
 		out[k] = v
 	}
+	return out
+}
+
+// RawBytesByKind returns a copy of the per-kind raw (pre-encoding)
+// byte counters. Kinds sent without raw accounting report 0.
+func (s *Stats) RawBytesByKind() map[Kind]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[Kind]int64, len(s.rawByKind))
+	for k, v := range s.rawByKind {
+		out[k] = v
+	}
+	return out
+}
+
+// TotalRawBytes returns the total pre-encoding payload bytes.
+func (s *Stats) TotalRawBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.totalRaw
+}
+
+// CompressionRatio returns raw bytes divided by wire bytes over every
+// message with raw accounting, or 0 when nothing was recorded. Values
+// above 1 mean the codec shrank the traffic below its in-memory size.
+func (s *Stats) CompressionRatio() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.totalRaw == 0 || s.totalBytes == 0 {
+		return 0
+	}
+	return float64(s.totalRaw) / float64(s.totalBytes)
+}
+
+// Kinds returns every message kind with recorded traffic, in
+// ascending order — the deterministic iteration order for per-kind
+// reporting.
+func (s *Stats) Kinds() []Kind {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Kind, 0, len(s.msgsByKind))
+	for k := range s.msgsByKind {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -257,11 +308,13 @@ func RecvKind(ctx context.Context, n Network, node string, want Kind) (Message, 
 	return msg, nil
 }
 
-// SendValue encodes v and sends it in one message.
-func SendValue(n Network, kind Kind, from, to string, v any) error {
-	payload, err := Encode(v)
+// SendValue encodes v with the given codec and sends it in one
+// message, recording the raw (pre-encoding) payload size for
+// compression accounting.
+func SendValue(n Network, c Codec, kind Kind, from, to string, v any) error {
+	payload, err := c.Encode(v)
 	if err != nil {
 		return err
 	}
-	return n.Send(Message{Kind: kind, From: from, To: to, Payload: payload})
+	return n.Send(Message{Kind: kind, From: from, To: to, Payload: payload, Raw: wire.RawSize(v)})
 }

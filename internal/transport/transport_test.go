@@ -14,6 +14,20 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 		C string
 	}
 	in := payload{A: 7, B: []float64{1, 2, 3}, C: "hello"}
+	for _, codec := range []Codec{Gob, Binary} {
+		raw, err := codec.Encode(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out payload
+		if err := codec.Decode(raw, &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.A != in.A || out.C != in.C || len(out.B) != 3 {
+			t.Fatalf("%s round trip mismatch: %+v", codec.Name(), out)
+		}
+	}
+	// Package-level Encode/Decode remain the legacy gob path.
 	raw, err := Encode(in)
 	if err != nil {
 		t.Fatal(err)
@@ -22,8 +36,42 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	if err := Decode(raw, &out); err != nil {
 		t.Fatal(err)
 	}
-	if out.A != in.A || out.C != in.C || len(out.B) != 3 {
-		t.Fatalf("round trip mismatch: %+v", out)
+	if out.A != in.A {
+		t.Fatalf("legacy round trip mismatch: %+v", out)
+	}
+}
+
+func TestCodecByName(t *testing.T) {
+	for name, want := range map[string]Codec{"": Binary, "binary": Binary, "gob": Gob} {
+		got, err := CodecByName(name)
+		if err != nil || got != want {
+			t.Fatalf("CodecByName(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := CodecByName("json"); err == nil {
+		t.Fatal("unknown codec must error")
+	}
+}
+
+func TestBinaryCodecIsSmallerOnFloatPayloads(t *testing.T) {
+	type payload struct{ Layers [][]float32 }
+	in := payload{Layers: make([][]float32, 4)}
+	for i := range in.Layers {
+		in.Layers[i] = make([]float32, 256)
+		for j := range in.Layers[i] {
+			in.Layers[i][j] = float32(i) + float32(j)*0.01
+		}
+	}
+	g, err := Gob.Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Binary.Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) >= len(g) {
+		t.Fatalf("binary %d bytes should be below gob %d", len(b), len(g))
 	}
 }
 
@@ -96,6 +144,36 @@ func TestStatsAccounting(t *testing.T) {
 	}
 	if got := st.BytesMatching(func(n string) bool { return n == "a" }); got != 348 {
 		t.Fatalf("matching: %d", got)
+	}
+}
+
+func TestStatsRawVsWireAccounting(t *testing.T) {
+	m := NewMemory()
+	m.Register("edge", 4)
+	// SendValue records the in-memory payload size next to the wire
+	// size; 512 float64s are 4096 raw bytes while the binary wire form
+	// is 4096 + small headers.
+	vals := make([]float64, 512)
+	for i := range vals {
+		vals[i] = float64(i) * 0.25
+	}
+	if err := SendValue(m, Binary, KindImportanceSet, "dev", "edge", vals); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if got := st.RawBytesByKind()[KindImportanceSet]; got != 4096 {
+		t.Fatalf("raw bytes %d, want 4096", got)
+	}
+	if st.TotalRawBytes() != 4096 {
+		t.Fatalf("total raw %d", st.TotalRawBytes())
+	}
+	wire := st.BytesByKind()[KindImportanceSet]
+	if wire <= 4096 || wire > 4096+64 {
+		t.Fatalf("wire bytes %d outside expected envelope", wire)
+	}
+	ratio := st.CompressionRatio()
+	if ratio <= 0.9 || ratio > 1.0 {
+		t.Fatalf("compression ratio %.3f outside (0.9, 1.0]", ratio)
 	}
 }
 

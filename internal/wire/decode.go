@@ -1,0 +1,416 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"reflect"
+)
+
+// decoder walks an encoded payload with explicit bounds checks so that
+// malformed or truncated frames produce errors, never panics or
+// oversized allocations. Decoding is type-directed: the target Go type
+// drives which tag is acceptable, so recursion depth is bounded by the
+// type, not by attacker-controlled input.
+type decoder struct {
+	b   []byte
+	off int
+}
+
+func (d *decoder) u8() (byte, error) {
+	if d.off >= len(d.b) {
+		return 0, fmt.Errorf("wire: truncated input at offset %d", d.off)
+	}
+	c := d.b[d.off]
+	d.off++
+	return c, nil
+}
+
+func (d *decoder) uvarint() (uint64, error) {
+	u, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("wire: bad varint at offset %d", d.off)
+	}
+	d.off += n
+	return u, nil
+}
+
+func (d *decoder) zigzag() (int64, error) {
+	u, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	return int64(u>>1) ^ -int64(u&1), nil
+}
+
+func (d *decoder) take(n int) ([]byte, error) {
+	if n < 0 || n > len(d.b)-d.off {
+		return nil, fmt.Errorf("wire: need %d bytes at offset %d, have %d", n, d.off, len(d.b)-d.off)
+	}
+	s := d.b[d.off : d.off+n]
+	d.off += n
+	return s, nil
+}
+
+// seqLen reads an element count and rejects counts that could not fit
+// in the remaining input (each element occupies at least minBytes), so
+// a corrupt length cannot trigger a huge allocation.
+func (d *decoder) seqLen(minBytes int) (int, error) {
+	u, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	n := int(u)
+	if n < 0 || (minBytes > 0 && n > (len(d.b)-d.off)/minBytes+1) {
+		return 0, fmt.Errorf("wire: implausible length %d at offset %d", u, d.off)
+	}
+	return n, nil
+}
+
+func (d *decoder) expect(tag byte, target reflect.Type) (byte, error) {
+	got, err := d.u8()
+	if err != nil {
+		return 0, err
+	}
+	if got != tag {
+		return got, fmt.Errorf("wire: decoding %s: want %s, got %s at offset %d",
+			target, tagName(tag), tagName(got), d.off-1)
+	}
+	return got, nil
+}
+
+func decodeValue(d *decoder, v reflect.Value) error {
+	switch v.Kind() {
+	case reflect.Bool:
+		tag, err := d.u8()
+		if err != nil {
+			return err
+		}
+		switch tag {
+		case tTrue:
+			v.SetBool(true)
+		case tFalse:
+			v.SetBool(false)
+		default:
+			return fmt.Errorf("wire: decoding bool: got %s", tagName(tag))
+		}
+		return nil
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		if _, err := d.expect(tInt, v.Type()); err != nil {
+			return err
+		}
+		i, err := d.zigzag()
+		if err != nil {
+			return err
+		}
+		if v.OverflowInt(i) {
+			return fmt.Errorf("wire: %d overflows %s", i, v.Type())
+		}
+		v.SetInt(i)
+		return nil
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		if _, err := d.expect(tUint, v.Type()); err != nil {
+			return err
+		}
+		u, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		if v.OverflowUint(u) {
+			return fmt.Errorf("wire: %d overflows %s", u, v.Type())
+		}
+		v.SetUint(u)
+		return nil
+	case reflect.Float64:
+		if _, err := d.expect(tF64, v.Type()); err != nil {
+			return err
+		}
+		raw, err := d.take(8)
+		if err != nil {
+			return err
+		}
+		v.SetFloat(math.Float64frombits(binary.LittleEndian.Uint64(raw)))
+		return nil
+	case reflect.Float32:
+		if _, err := d.expect(tF32, v.Type()); err != nil {
+			return err
+		}
+		raw, err := d.take(4)
+		if err != nil {
+			return err
+		}
+		v.SetFloat(float64(math.Float32frombits(binary.LittleEndian.Uint32(raw))))
+		return nil
+	case reflect.String:
+		if _, err := d.expect(tString, v.Type()); err != nil {
+			return err
+		}
+		n, err := d.seqLen(1)
+		if err != nil {
+			return err
+		}
+		raw, err := d.take(n)
+		if err != nil {
+			return err
+		}
+		v.SetString(string(raw))
+		return nil
+	case reflect.Slice:
+		return decodeSlice(d, v)
+	case reflect.Array:
+		return decodeArray(d, v)
+	case reflect.Struct:
+		if _, err := d.expect(tStruct, v.Type()); err != nil {
+			return err
+		}
+		fields := exportedFields(v.Type())
+		n, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		if int(n) != len(fields) {
+			return fmt.Errorf("wire: %s has %d exported fields, frame has %d", v.Type(), len(fields), n)
+		}
+		for _, i := range fields {
+			if err := decodeValue(d, v.Field(i)); err != nil {
+				return fmt.Errorf("%s.%s: %w", v.Type().Name(), v.Type().Field(i).Name, err)
+			}
+		}
+		return nil
+	case reflect.Pointer:
+		if v.Type().Elem().Kind() == reflect.Pointer {
+			return fmt.Errorf("wire: unsupported nested pointer type %s", v.Type())
+		}
+		if d.off < len(d.b) && d.b[d.off] == tNil {
+			d.off++
+			v.SetZero()
+			return nil
+		}
+		if v.IsNil() {
+			v.Set(reflect.New(v.Type().Elem()))
+		}
+		return decodeValue(d, v.Elem())
+	case reflect.Map:
+		return decodeMap(d, v)
+	default:
+		return fmt.Errorf("wire: unsupported decode type %s", v.Type())
+	}
+}
+
+func decodeSlice(d *decoder, v reflect.Value) error {
+	elem := v.Type().Elem()
+	switch elem.Kind() {
+	case reflect.Uint8, reflect.Int8:
+		if _, err := d.expect(tBytes, v.Type()); err != nil {
+			return err
+		}
+		n, err := d.seqLen(1)
+		if err != nil {
+			return err
+		}
+		raw, err := d.take(n)
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			v.SetZero()
+			return nil
+		}
+		s := reflect.MakeSlice(v.Type(), n, n)
+		switch {
+		case elem == byteType:
+			copy(s.Bytes(), raw)
+		case elem.Kind() == reflect.Uint8:
+			for i := 0; i < n; i++ {
+				s.Index(i).SetUint(uint64(raw[i]))
+			}
+		default:
+			for i := 0; i < n; i++ {
+				s.Index(i).SetInt(int64(int8(raw[i])))
+			}
+		}
+		v.Set(s)
+		return nil
+	case reflect.Float64:
+		if _, err := d.expect(tF64s, v.Type()); err != nil {
+			return err
+		}
+		n, err := d.seqLen(8)
+		if err != nil {
+			return err
+		}
+		raw, err := d.take(8 * n)
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			v.SetZero()
+			return nil
+		}
+		s := reflect.MakeSlice(v.Type(), n, n)
+		for i := 0; i < n; i++ {
+			s.Index(i).SetFloat(math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:])))
+		}
+		v.Set(s)
+		return nil
+	case reflect.Float32:
+		if _, err := d.expect(tF32s, v.Type()); err != nil {
+			return err
+		}
+		n, err := d.seqLen(4)
+		if err != nil {
+			return err
+		}
+		raw, err := d.take(4 * n)
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			v.SetZero()
+			return nil
+		}
+		s := reflect.MakeSlice(v.Type(), n, n)
+		for i := 0; i < n; i++ {
+			s.Index(i).SetFloat(float64(math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))))
+		}
+		v.Set(s)
+		return nil
+	case reflect.Bool:
+		if _, err := d.expect(tBools, v.Type()); err != nil {
+			return err
+		}
+		n, err := d.seqLen(0)
+		if err != nil {
+			return err
+		}
+		raw, err := d.take((n + 7) / 8)
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			v.SetZero()
+			return nil
+		}
+		s := reflect.MakeSlice(v.Type(), n, n)
+		for i := 0; i < n; i++ {
+			s.Index(i).SetBool(raw[i/8]&(1<<(i%8)) != 0)
+		}
+		v.Set(s)
+		return nil
+	case reflect.Int, reflect.Int16, reflect.Int32, reflect.Int64:
+		if _, err := d.expect(tInts, v.Type()); err != nil {
+			return err
+		}
+		n, err := d.seqLen(1)
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			v.SetZero()
+			return nil
+		}
+		s := reflect.MakeSlice(v.Type(), n, n)
+		for i := 0; i < n; i++ {
+			x, err := d.zigzag()
+			if err != nil {
+				return err
+			}
+			if s.Index(i).OverflowInt(x) {
+				return fmt.Errorf("wire: %d overflows %s", x, elem)
+			}
+			s.Index(i).SetInt(x)
+		}
+		v.Set(s)
+		return nil
+	case reflect.Uint, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		if _, err := d.expect(tUints, v.Type()); err != nil {
+			return err
+		}
+		n, err := d.seqLen(1)
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			v.SetZero()
+			return nil
+		}
+		s := reflect.MakeSlice(v.Type(), n, n)
+		for i := 0; i < n; i++ {
+			u, err := d.uvarint()
+			if err != nil {
+				return err
+			}
+			if s.Index(i).OverflowUint(u) {
+				return fmt.Errorf("wire: %d overflows %s", u, elem)
+			}
+			s.Index(i).SetUint(u)
+		}
+		v.Set(s)
+		return nil
+	default:
+		if _, err := d.expect(tList, v.Type()); err != nil {
+			return err
+		}
+		n, err := d.seqLen(1)
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			v.SetZero()
+			return nil
+		}
+		s := reflect.MakeSlice(v.Type(), n, n)
+		for i := 0; i < n; i++ {
+			if err := decodeValue(d, s.Index(i)); err != nil {
+				return err
+			}
+		}
+		v.Set(s)
+		return nil
+	}
+}
+
+// decodeArray reuses the slice wire shapes but requires the element
+// count to match the fixed array length.
+func decodeArray(d *decoder, v reflect.Value) error {
+	n := v.Len()
+	slice := reflect.New(reflect.SliceOf(v.Type().Elem())).Elem()
+	if err := decodeSlice(d, slice); err != nil {
+		return err
+	}
+	if slice.Len() != n {
+		return fmt.Errorf("wire: array %s wants %d elements, frame has %d", v.Type(), n, slice.Len())
+	}
+	for i := 0; i < n; i++ {
+		v.Index(i).Set(slice.Index(i))
+	}
+	return nil
+}
+
+func decodeMap(d *decoder, v reflect.Value) error {
+	if _, err := d.expect(tMap, v.Type()); err != nil {
+		return err
+	}
+	n, err := d.seqLen(2)
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		v.SetZero()
+		return nil
+	}
+	m := reflect.MakeMapWithSize(v.Type(), n)
+	for i := 0; i < n; i++ {
+		k := reflect.New(v.Type().Key()).Elem()
+		if err := decodeValue(d, k); err != nil {
+			return err
+		}
+		val := reflect.New(v.Type().Elem()).Elem()
+		if err := decodeValue(d, val); err != nil {
+			return err
+		}
+		m.SetMapIndex(k, val)
+	}
+	v.Set(m)
+	return nil
+}

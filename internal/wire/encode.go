@@ -1,0 +1,162 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"reflect"
+	"sort"
+)
+
+// byteType gates the bulk []byte fast paths: reflect.Value.Bytes only
+// supports slices whose element type is exactly uint8.
+var byteType = reflect.TypeOf(byte(0))
+
+func appendZigzag(b []byte, i int64) []byte {
+	return binary.AppendUvarint(b, uint64(i<<1)^uint64(i>>63))
+}
+
+func appendValue(b []byte, v reflect.Value) ([]byte, error) {
+	switch v.Kind() {
+	case reflect.Bool:
+		if v.Bool() {
+			return append(b, tTrue), nil
+		}
+		return append(b, tFalse), nil
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return appendZigzag(append(b, tInt), v.Int()), nil
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		return binary.AppendUvarint(append(b, tUint), v.Uint()), nil
+	case reflect.Float64:
+		return binary.LittleEndian.AppendUint64(append(b, tF64), math.Float64bits(v.Float())), nil
+	case reflect.Float32:
+		return binary.LittleEndian.AppendUint32(append(b, tF32), math.Float32bits(float32(v.Float()))), nil
+	case reflect.String:
+		b = binary.AppendUvarint(append(b, tString), uint64(v.Len()))
+		return append(b, v.String()...), nil
+	case reflect.Slice, reflect.Array:
+		return appendSequence(b, v)
+	case reflect.Struct:
+		fields := exportedFields(v.Type())
+		b = binary.AppendUvarint(append(b, tStruct), uint64(len(fields)))
+		var err error
+		for _, i := range fields {
+			if b, err = appendValue(b, v.Field(i)); err != nil {
+				return nil, err
+			}
+		}
+		return b, nil
+	case reflect.Pointer:
+		// A nil pointer collapses to a single tNil tag, so nested
+		// pointers (**T) cannot round-trip unambiguously — reject them
+		// instead of silently losing a level of indirection.
+		if v.Type().Elem().Kind() == reflect.Pointer {
+			return nil, fmt.Errorf("wire: unsupported nested pointer type %s", v.Type())
+		}
+		if v.IsNil() {
+			return append(b, tNil), nil
+		}
+		return appendValue(b, v.Elem())
+	case reflect.Map:
+		return appendMap(b, v)
+	default:
+		return nil, fmt.Errorf("wire: unsupported type %s", v.Type())
+	}
+}
+
+func appendSequence(b []byte, v reflect.Value) ([]byte, error) {
+	n := v.Len()
+	switch v.Type().Elem().Kind() {
+	case reflect.Uint8:
+		b = binary.AppendUvarint(append(b, tBytes), uint64(n))
+		if v.Kind() == reflect.Slice && v.Type().Elem() == byteType {
+			return append(b, v.Bytes()...), nil
+		}
+		for i := 0; i < n; i++ {
+			b = append(b, byte(v.Index(i).Uint()))
+		}
+		return b, nil
+	case reflect.Int8:
+		b = binary.AppendUvarint(append(b, tBytes), uint64(n))
+		for i := 0; i < n; i++ {
+			b = append(b, byte(v.Index(i).Int()))
+		}
+		return b, nil
+	case reflect.Float64:
+		b = binary.AppendUvarint(append(b, tF64s), uint64(n))
+		for i := 0; i < n; i++ {
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v.Index(i).Float()))
+		}
+		return b, nil
+	case reflect.Float32:
+		b = binary.AppendUvarint(append(b, tF32s), uint64(n))
+		for i := 0; i < n; i++ {
+			b = binary.LittleEndian.AppendUint32(b, math.Float32bits(float32(v.Index(i).Float())))
+		}
+		return b, nil
+	case reflect.Bool:
+		b = binary.AppendUvarint(append(b, tBools), uint64(n))
+		var cur byte
+		for i := 0; i < n; i++ {
+			if v.Index(i).Bool() {
+				cur |= 1 << (i % 8)
+			}
+			if i%8 == 7 {
+				b = append(b, cur)
+				cur = 0
+			}
+		}
+		if n%8 != 0 {
+			b = append(b, cur)
+		}
+		return b, nil
+	case reflect.Int, reflect.Int16, reflect.Int32, reflect.Int64:
+		b = binary.AppendUvarint(append(b, tInts), uint64(n))
+		for i := 0; i < n; i++ {
+			b = appendZigzag(b, v.Index(i).Int())
+		}
+		return b, nil
+	case reflect.Uint, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		b = binary.AppendUvarint(append(b, tUints), uint64(n))
+		for i := 0; i < n; i++ {
+			b = binary.AppendUvarint(b, v.Index(i).Uint())
+		}
+		return b, nil
+	default:
+		b = binary.AppendUvarint(append(b, tList), uint64(n))
+		var err error
+		for i := 0; i < n; i++ {
+			if b, err = appendValue(b, v.Index(i)); err != nil {
+				return nil, err
+			}
+		}
+		return b, nil
+	}
+}
+
+// appendMap encodes a map with keys in sorted order so the encoding is
+// deterministic. Only integer- and string-keyed maps are supported.
+func appendMap(b []byte, v reflect.Value) ([]byte, error) {
+	keys := v.MapKeys()
+	switch v.Type().Key().Kind() {
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		sort.Slice(keys, func(i, j int) bool { return keys[i].Int() < keys[j].Int() })
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		sort.Slice(keys, func(i, j int) bool { return keys[i].Uint() < keys[j].Uint() })
+	case reflect.String:
+		sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	default:
+		return nil, fmt.Errorf("wire: unsupported map key type %s", v.Type().Key())
+	}
+	b = binary.AppendUvarint(append(b, tMap), uint64(len(keys)))
+	var err error
+	for _, k := range keys {
+		if b, err = appendValue(b, k); err != nil {
+			return nil, err
+		}
+		if b, err = appendValue(b, v.MapIndex(k)); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}

@@ -1,0 +1,75 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzDecode drives arbitrary bytes through Decode against the
+// protocol-shaped target types. The invariant is "error, never panic":
+// a malformed frame from a byzantine peer must surface as a clean
+// decode error. The seed corpus (testdata/fuzz/FuzzDecode) holds valid
+// encodings of each shape plus truncated/corrupt variants.
+func FuzzDecode(f *testing.F) {
+	type blob struct {
+		Name string
+		Rows int
+		Cols int
+		Data []float64
+	}
+	type assignment struct {
+		W      float64
+		D      int
+		Params []blob
+		Masks  [][]bool
+	}
+	type upload struct {
+		DeviceID int
+		Layers   [][]float32
+		Packed   []byte
+	}
+
+	seedValues := []any{
+		assignment{W: 0.5, D: 2, Params: []blob{{Name: "w", Rows: 2, Cols: 2, Data: []float64{1, 2, 3, 4}}}, Masks: [][]bool{{true, false}}},
+		upload{DeviceID: 7, Layers: [][]float32{{0.1, 0.2}, {0.3}}, Packed: []byte{1, 2, 3}},
+		[]float64{1, 2, 3},
+		map[string]int{"a": 1},
+	}
+	for _, v := range seedValues {
+		raw, err := Encode(v)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(raw)
+		if len(raw) > 2 {
+			f.Add(raw[:len(raw)/2])
+			mut := append([]byte(nil), raw...)
+			mut[1] ^= 0xff
+			f.Add(mut)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{Version})
+	f.Add([]byte{Version, tF64s, 0xff, 0xff, 0xff, 0xff, 0x0f})
+
+	targets := []func() any{
+		func() any { return &assignment{} },
+		func() any { return &upload{} },
+		func() any { return new([]float64) },
+		func() any { return new(map[string]int) },
+		func() any { return new(string) },
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, mk := range targets {
+			target := mk()
+			if err := Decode(data, target); err != nil {
+				continue
+			}
+			// A successful decode must re-encode without error (the
+			// value is well-formed Go data).
+			if _, err := Encode(reflect.ValueOf(target).Elem().Interface()); err != nil {
+				t.Fatalf("decoded value does not re-encode: %v", err)
+			}
+		}
+	})
+}

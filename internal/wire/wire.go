@@ -1,0 +1,203 @@
+// Package wire implements the compact binary payload codec used by the
+// transport layer. The format is self-describing at the value level:
+// every value is prefixed with a one-byte type tag, lengths and integers
+// travel as varints, float slices and byte slices are packed raw, and
+// bool slices are bit-packed. Struct frames carry their exported field
+// count so a schema mismatch is detected instead of silently
+// mis-decoding.
+//
+// Compared to encoding/gob — which writes full type metadata with every
+// message when each message uses a fresh encoder, and spends 5–6 bytes
+// per float32 — this format has no per-message type descriptors and
+// fixed 4/8-byte floats, which is what Table I's "Upload Data" column
+// measures. Encoding scratch buffers are pooled so the hot path
+// (importance sets every round, backbone parameter blobs) does not
+// re-grow a buffer per message.
+//
+// Layout:
+//
+//	payload  := version(1 byte) value
+//	value    := tag data
+//	varint   := unsigned LEB128 (encoding/binary)
+//	zigzag   := varint of (i<<1)^(i>>63)
+package wire
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+)
+
+// Version is the first byte of every encoded payload.
+const Version = 1
+
+// Type tags. One byte each; bools fold their value into the tag.
+const (
+	tNil    = 0x00 // nil pointer / absent value
+	tFalse  = 0x01 // bool false
+	tTrue   = 0x02 // bool true
+	tInt    = 0x03 // zigzag varint
+	tUint   = 0x04 // varint
+	tF64    = 0x05 // 8 bytes little-endian
+	tF32    = 0x06 // 4 bytes little-endian
+	tString = 0x07 // varint len + UTF-8 bytes
+	tBytes  = 0x08 // []byte or []int8: varint len + raw bytes
+	tF64s   = 0x09 // []float64: varint n + n×8 bytes
+	tF32s   = 0x0a // []float32: varint n + n×4 bytes
+	tInts   = 0x0b // signed int slice: varint n + n zigzag varints
+	tUints  = 0x0c // unsigned int slice: varint n + n varints
+	tBools  = 0x0d // []bool: varint n + ceil(n/8) bit-packed bytes
+	tList   = 0x0e // generic slice/array: varint n + n values
+	tStruct = 0x0f // varint field count + exported fields in order
+	tMap    = 0x10 // varint n + n sorted key/value pairs
+)
+
+func tagName(t byte) string {
+	names := map[byte]string{
+		tNil: "nil", tFalse: "false", tTrue: "true", tInt: "int",
+		tUint: "uint", tF64: "float64", tF32: "float32", tString: "string",
+		tBytes: "bytes", tF64s: "[]float64", tF32s: "[]float32",
+		tInts: "[]int", tUints: "[]uint", tBools: "[]bool",
+		tList: "list", tStruct: "struct", tMap: "map",
+	}
+	if n, ok := names[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("tag(0x%02x)", t)
+}
+
+// encBuf is a pooled scratch buffer for Encode.
+type encBuf struct{ b []byte }
+
+var bufPool = sync.Pool{New: func() any { return &encBuf{b: make([]byte, 0, 1024)} }}
+
+// Encode serializes v into a fresh byte slice. The scratch buffer is
+// pooled; the returned slice is an exact-size copy the caller owns.
+func Encode(v any) ([]byte, error) {
+	e := bufPool.Get().(*encBuf)
+	b, err := AppendEncode(e.b[:0], v)
+	if err != nil {
+		e.b = b[:0]
+		bufPool.Put(e)
+		return nil, err
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	e.b = b[:0]
+	bufPool.Put(e)
+	return out, nil
+}
+
+// AppendEncode appends the encoding of v to dst and returns the
+// extended slice. This is the zero-copy entry point for callers that
+// frame messages themselves (the TCP transport).
+func AppendEncode(dst []byte, v any) ([]byte, error) {
+	dst = append(dst, Version)
+	return appendValue(dst, reflect.ValueOf(v))
+}
+
+// Decode deserializes data into v, which must be a non-nil pointer.
+// Malformed input returns an error; it never panics. Trailing bytes
+// after the value are rejected.
+func Decode(data []byte, v any) error {
+	rv := reflect.ValueOf(v)
+	if rv.Kind() != reflect.Pointer || rv.IsNil() {
+		return fmt.Errorf("wire: decode target must be a non-nil pointer, got %T", v)
+	}
+	d := &decoder{b: data}
+	ver, err := d.u8()
+	if err != nil {
+		return fmt.Errorf("wire: missing version byte")
+	}
+	if ver != Version {
+		return fmt.Errorf("wire: unsupported version %d", ver)
+	}
+	if err := decodeValue(d, rv.Elem()); err != nil {
+		return err
+	}
+	if d.off != len(d.b) {
+		return fmt.Errorf("wire: %d trailing bytes after value", len(d.b)-d.off)
+	}
+	return nil
+}
+
+// fieldCache maps a struct type to the indices of its exported fields.
+var fieldCache sync.Map // reflect.Type -> []int
+
+func exportedFields(t reflect.Type) []int {
+	if idx, ok := fieldCache.Load(t); ok {
+		return idx.([]int)
+	}
+	var idx []int
+	for i := 0; i < t.NumField(); i++ {
+		if t.Field(i).IsExported() {
+			idx = append(idx, i)
+		}
+	}
+	fieldCache.Store(t, idx)
+	return idx
+}
+
+// RawSize returns the in-memory payload size of v in bytes: the space
+// the logical data occupies before any encoding (float64 = 8, float32
+// = 4, bool = 1, strings and byte slices at their length). The stats
+// layer records it next to the wire size so compression ratios are a
+// first-class measurement.
+func RawSize(v any) int {
+	return rawSize(reflect.ValueOf(v))
+}
+
+func rawSize(v reflect.Value) int {
+	switch v.Kind() {
+	case reflect.Bool, reflect.Int8, reflect.Uint8:
+		return 1
+	case reflect.Int16, reflect.Uint16:
+		return 2
+	case reflect.Int32, reflect.Uint32, reflect.Float32:
+		return 4
+	case reflect.Int, reflect.Int64, reflect.Uint, reflect.Uint64, reflect.Float64:
+		return 8
+	case reflect.String:
+		return v.Len()
+	case reflect.Slice, reflect.Array:
+		n := v.Len()
+		if n == 0 {
+			return 0
+		}
+		switch v.Type().Elem().Kind() {
+		case reflect.Bool, reflect.Int8, reflect.Uint8:
+			return n
+		case reflect.Int16, reflect.Uint16:
+			return 2 * n
+		case reflect.Int32, reflect.Uint32, reflect.Float32:
+			return 4 * n
+		case reflect.Int, reflect.Int64, reflect.Uint, reflect.Uint64, reflect.Float64:
+			return 8 * n
+		}
+		total := 0
+		for i := 0; i < n; i++ {
+			total += rawSize(v.Index(i))
+		}
+		return total
+	case reflect.Struct:
+		total := 0
+		for _, i := range exportedFields(v.Type()) {
+			total += rawSize(v.Field(i))
+		}
+		return total
+	case reflect.Pointer:
+		if v.IsNil() {
+			return 0
+		}
+		return rawSize(v.Elem())
+	case reflect.Map:
+		total := 0
+		iter := v.MapRange()
+		for iter.Next() {
+			total += rawSize(iter.Key()) + rawSize(iter.Value())
+		}
+		return total
+	default:
+		return 0
+	}
+}
