@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fuzz fmt fmt-check vet ci
+.PHONY: all build test race bench bench-json fuzz fmt fmt-check vet ci
 
 all: build test
 
@@ -13,10 +13,16 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/transport/... ./internal/wire/... ./internal/tensor/...
+	$(GO) test -race ./internal/core/... ./internal/transport/... ./internal/wire/... ./internal/tensor/... ./internal/aggregate/...
 
 bench:
-	$(GO) test -run='^$$' -bench=. -benchtime=1x ./internal/tensor ./internal/wire ./internal/core
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./internal/tensor ./internal/wire ./internal/core ./internal/aggregate
+
+# bench-json regenerates BENCH_3.json: the Phase 2-2 importance
+# exchange trajectory (upload bytes and edge aggregation latency by
+# round) for dense/delta × lossless/mixed on the default scenario.
+bench-json:
+	$(GO) run ./cmd/acmebench -exp bench3 -benchjson BENCH_3.json
 
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=20s ./internal/wire

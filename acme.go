@@ -71,11 +71,17 @@ const (
 	QuantLossless = core.QuantLossless // exact payloads (default)
 	QuantFloat16  = core.QuantFloat16  // IEEE half precision, 4× smaller params
 	QuantInt8     = core.QuantInt8     // scaled signed bytes, 8× smaller params
+	QuantMixed    = core.QuantMixed    // per-layer float16/int8: mass-ranked importance, error-tested params
 )
 
 // ParseQuantMode resolves a quantization mode from its flag name
-// (lossless, float16, int8).
+// (lossless, float16, int8, mixed).
 func ParseQuantMode(s string) (QuantMode, error) { return core.ParseQuantMode(s) }
+
+// Phase2RoundStat traces one edge round of the Phase 2-2 importance
+// loop (Result.Phase2Rounds): received upload bytes, dense vs delta
+// message counts, and aggregation busy time.
+type Phase2RoundStat = core.Phase2RoundStat
 
 // MessageKind tags the protocol message types (see Result.Stats
 // per-kind accounting).

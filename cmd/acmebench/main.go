@@ -32,7 +32,9 @@ func run() error {
 	seeds := flag.Int("seeds", 2, "seeds for averaged micro-scale experiments")
 	parallel := flag.Int("parallel", 0, "tensor-kernel goroutines (0 = GOMAXPROCS)")
 	wireName := flag.String("wire", "binary", "wire format for measured runs: binary, gob")
-	quant := flag.String("quant", "lossless", "payload quantization for measured runs: lossless, float16, int8")
+	quant := flag.String("quant", "lossless", "payload quantization for measured runs: lossless, float16, int8, mixed")
+	delta := flag.Bool("delta", false, "delta-encode importance uploads in measured runs")
+	benchJSON := flag.String("benchjson", "BENCH_3.json", "output path for the bench3 trajectory JSON (bench3 pins its own dense/delta × lossless/mixed variants; -wire/-quant/-delta do not apply to it)")
 	flag.Parse()
 	tensor.SetParallelism(*parallel)
 	qm, err := core.ParseQuantMode(*quant)
@@ -42,7 +44,7 @@ func run() error {
 	if _, err := transport.CodecByName(*wireName); err != nil {
 		return err
 	}
-	experiments.SetWireOptions(*wireName, qm)
+	experiments.SetWireOptions(*wireName, qm, *delta)
 
 	type runner struct {
 		id string
@@ -68,7 +70,12 @@ func run() error {
 		{"ablation-distill", experiments.AblationDistillation},
 		{"ablation-controller", experiments.AblationController},
 		{"ablation-rounds", experiments.AblationLoopRounds},
+		{"bench3", func() (*experiments.Table, error) { return experiments.Bench3JSON(*benchJSON) }},
 	}
+	// bench3 rewrites the checked-in BENCH_3.json and adds four full
+	// system runs, so it never rides along with -exp all — it only
+	// runs when named explicitly (as make bench-json does).
+	explicitOnly := map[string]bool{"bench3": true}
 
 	want := map[string]bool{}
 	all := *exp == "all"
@@ -79,6 +86,9 @@ func run() error {
 	ran := 0
 	for _, r := range runners {
 		if !all && !want[r.id] {
+			continue
+		}
+		if all && explicitOnly[r.id] {
 			continue
 		}
 		table, err := r.fn()

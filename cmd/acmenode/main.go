@@ -41,7 +41,8 @@ func run() error {
 	seed := flag.Int64("seed", 1, "shared random seed (identical across processes)")
 	timeout := flag.Duration("timeout", 10*time.Minute, "run timeout")
 	wireName := flag.String("wire", "binary", "wire format: binary, gob (identical across processes)")
-	quant := flag.String("quant", "lossless", "payload quantization: lossless, float16, int8 (identical across processes)")
+	quant := flag.String("quant", "lossless", "payload quantization: lossless, float16, int8, mixed (identical across processes)")
+	delta := flag.Bool("delta", false, "delta-encode successive importance uploads (identical across processes)")
 	flag.Parse()
 
 	if *role == "" || *listen == "" || *peers == "" {
@@ -67,6 +68,7 @@ func run() error {
 		return err
 	}
 	cfg.Quantization = qm
+	cfg.DeltaImportance = *delta
 
 	net, err := transport.NewTCP(*role, *listen, peerMap)
 	if err != nil {
@@ -93,6 +95,16 @@ func run() error {
 				r.DeviceID, r.EdgeID, r.Width, r.Depth, r.AccuracyCoarse, r.AccuracyFinal)
 		}
 		fmt.Printf("mean final accuracy: %.3f\n", res.MeanAccuracyFinal())
+	}
+	// Per-node traffic in both directions: a TCP node's Stats cover
+	// what this process sent and what arrived on its own sockets.
+	st := net.Stats()
+	fmt.Printf("acmenode: %s traffic: sent %d msgs / %d B, received %d msgs / %d B\n",
+		*role, st.TotalMessages(), st.TotalBytes(), st.TotalReceivedMessages(), st.TotalReceivedBytes())
+	sentByKind := st.BytesByKind()
+	recvByKind := st.ReceivedBytesByKind()
+	for _, k := range st.Kinds() {
+		fmt.Printf("acmenode: %s   %-16s sent %9d B  recv %9d B\n", *role, k, sentByKind[k], recvByKind[k])
 	}
 	fmt.Printf("acmenode: role %s done\n", *role)
 	return nil

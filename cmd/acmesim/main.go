@@ -36,7 +36,8 @@ func run() error {
 	timeout := flag.Duration("timeout", 10*time.Minute, "run timeout")
 	parallel := flag.Int("parallel", 0, "tensor-kernel goroutines (0 = GOMAXPROCS)")
 	wireName := flag.String("wire", "binary", "wire format: binary, gob")
-	quant := flag.String("quant", "lossless", "payload quantization: lossless, float16, int8")
+	quant := flag.String("quant", "lossless", "payload quantization: lossless, float16, int8, mixed")
+	delta := flag.Bool("delta", false, "delta-encode successive importance uploads (round t vs t−1)")
 	flag.Parse()
 
 	cfg := acme.DefaultConfig()
@@ -64,6 +65,7 @@ func run() error {
 		return err
 	}
 	cfg.Quantization = qm
+	cfg.DeltaImportance = *delta
 
 	switch *level {
 	case "IID":
@@ -131,18 +133,30 @@ func run() error {
 		res.SearchSpaceOurs, res.SearchSpaceCS)
 
 	st := res.Stats
-	fmt.Printf("\nwire traffic (%s codec, %s payloads): %d messages, %d wire bytes, %d in-memory bytes (ratio %.2f)\n",
-		*wireName, qm, st.TotalMessages(), st.TotalBytes(), st.TotalRawBytes(), st.CompressionRatio())
+	fmt.Printf("\nwire traffic (%s codec, %s payloads): %d messages, %d wire bytes, %d in-memory bytes (ratio %.2f); received %d messages, %d bytes\n",
+		*wireName, qm, st.TotalMessages(), st.TotalBytes(), st.TotalRawBytes(), st.CompressionRatio(),
+		st.TotalReceivedMessages(), st.TotalReceivedBytes())
 	wireByKind := st.BytesByKind()
 	rawByKind := st.RawBytesByKind()
 	msgsByKind := st.MessagesByKind()
+	recvByKind := st.ReceivedBytesByKind()
+	recvMsgsByKind := st.ReceivedMessagesByKind()
 	for _, k := range st.Kinds() {
 		ratio := 0.0
 		if wireByKind[k] > 0 {
 			ratio = float64(rawByKind[k]) / float64(wireByKind[k])
 		}
-		fmt.Printf("  %-16s %4d msgs  %9d wire  %9d raw  ratio %.2f\n",
-			k, msgsByKind[k], wireByKind[k], rawByKind[k], ratio)
+		fmt.Printf("  %-16s sent %4d msgs %9d B (raw %9d, ratio %.2f)  recv %4d msgs %9d B\n",
+			k, msgsByKind[k], wireByKind[k], rawByKind[k], ratio, recvMsgsByKind[k], recvByKind[k])
+	}
+
+	if len(res.Phase2Rounds) > 0 {
+		fmt.Println("\nphase 2-2 importance loop (per edge round):")
+		for _, rs := range res.Phase2Rounds {
+			fmt.Printf("  edge-%d round %d: %7d upload bytes (%d dense + %d delta msgs), aggregate %.2fms\n",
+				rs.EdgeID, rs.Round, rs.UploadBytes, rs.DenseMessages, rs.DeltaMessages,
+				float64(rs.AggregateNS)/1e6)
+		}
 	}
 	return nil
 }

@@ -10,9 +10,11 @@ package aggregate
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"acme/internal/importance"
+	"acme/internal/tensor"
 	"acme/internal/wasserstein"
 )
 
@@ -64,6 +66,152 @@ func Combine(sets []*importance.Set, sim [][]float64) ([]*importance.Set, error)
 		out[i] = acc
 	}
 	return out, nil
+}
+
+// Combiner folds importance uploads into the similarity-weighted
+// accumulators incrementally, so an edge server can overlap decoding
+// with aggregation instead of materializing every device's set before
+// a monolithic Combine. Results are bitwise identical to Combine:
+// uploads that arrive out of device order are buffered and folds are
+// applied in ascending device position, preserving Combine's exact
+// floating-point addition order. Each fold fans out across the output
+// accumulators on the tensor worker pool (every accumulator is owned
+// by one goroutine, so the parallelism is also bitwise-invisible).
+type Combiner struct {
+	sim     [][]float64
+	n       int
+	acc     []*importance.Set
+	pending []*importance.Set // buffered out-of-order arrivals
+	added   int               // positions handed to Add so far
+	next    int               // positions [0,next) are folded
+}
+
+// NewCombiner validates the similarity matrix and returns an empty
+// combiner expecting one Add per device position.
+func NewCombiner(sim [][]float64) (*Combiner, error) {
+	n := len(sim)
+	for i, row := range sim {
+		if len(row) != n {
+			return nil, fmt.Errorf("aggregate: similarity row %d has %d cols, want %d", i, len(row), n)
+		}
+	}
+	return &Combiner{
+		sim:     sim,
+		n:       n,
+		pending: make([]*importance.Set, n),
+	}, nil
+}
+
+// Added reports how many device positions have been handed to Add.
+func (c *Combiner) Added() int { return c.added }
+
+// Add registers device position pos's importance set and folds every
+// position that is now ready in ascending order. The set must not be
+// mutated afterwards. Duplicate positions and shape mismatches are
+// rejected.
+func (c *Combiner) Add(pos int, set *importance.Set) error {
+	if pos < 0 || pos >= c.n {
+		return fmt.Errorf("aggregate: position %d outside [0,%d)", pos, c.n)
+	}
+	// Already folded (pos < next) or still buffered: either way a
+	// second upload for the position is a duplicate.
+	if pos < c.next || c.pending[pos] != nil {
+		return fmt.Errorf("aggregate: duplicate set for position %d", pos)
+	}
+	if set == nil {
+		return fmt.Errorf("aggregate: nil set for position %d", pos)
+	}
+	if c.acc == nil {
+		c.acc = make([]*importance.Set, c.n)
+		for i := range c.acc {
+			c.acc[i] = set.ZeroClone()
+		}
+	} else if err := shapeCheck(c.acc[0], set, pos); err != nil {
+		return err
+	}
+	c.added++
+	c.pending[pos] = set
+	for c.next < c.n && c.pending[c.next] != nil {
+		c.fold(c.next, c.pending[c.next])
+		c.pending[c.next] = nil
+		c.next++
+	}
+	return nil
+}
+
+func shapeCheck(ref, set *importance.Set, pos int) error {
+	if len(ref.Layers) != len(set.Layers) {
+		return fmt.Errorf("aggregate: position %d has %d layers, want %d", pos, len(set.Layers), len(ref.Layers))
+	}
+	for l := range ref.Layers {
+		if len(ref.Layers[l]) != len(set.Layers[l]) {
+			return fmt.Errorf("aggregate: position %d layer %d has %d entries, want %d",
+				pos, l, len(set.Layers[l]), len(ref.Layers[l]))
+		}
+	}
+	return nil
+}
+
+// fold applies acc[i] += sim[i][pos]·set for every output i. Shapes
+// were validated in Add, so the inner loop is pure Axpy.
+func (c *Combiner) fold(pos int, set *importance.Set) {
+	tensor.ParallelFor(c.n, func(i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			w := c.sim[i][pos]
+			for l := range set.Layers {
+				tensor.Axpy(w, set.Layers[l], c.acc[i].Layers[l])
+			}
+		}
+	})
+}
+
+// Result finalizes the aggregation once every position was added. It
+// also measures the convergence delta against prev (the previous
+// round's combined sets) in the same pass over the still-cache-hot
+// accumulators, returning +Inf when prev is nil or shaped differently
+// (both mean "not converged").
+func (c *Combiner) Result(prev []*importance.Set) ([]*importance.Set, float64, error) {
+	if c.next != c.n {
+		return nil, 0, fmt.Errorf("aggregate: only %d of %d sets folded", c.next, c.n)
+	}
+	return c.acc, SetsDelta(prev, c.acc), nil
+}
+
+// SetsDelta measures the mean relative L2 change between consecutive
+// rounds' aggregated importance sets (the §II-A convergence monitor).
+// Empty inputs, length mismatches, nil sets, and per-layer shape
+// mismatches all report +Inf — a malformed comparison never counts as
+// converged.
+func SetsDelta(prev, cur []*importance.Set) float64 {
+	if len(prev) == 0 || len(cur) == 0 || len(prev) != len(cur) {
+		return math.Inf(1)
+	}
+	var total float64
+	var n int
+	for i := range cur {
+		if prev[i] == nil || cur[i] == nil || len(prev[i].Layers) != len(cur[i].Layers) {
+			return math.Inf(1)
+		}
+		var num, den float64
+		for l := range cur[i].Layers {
+			if len(prev[i].Layers[l]) != len(cur[i].Layers[l]) {
+				return math.Inf(1)
+			}
+			for j := range cur[i].Layers[l] {
+				d := cur[i].Layers[l][j] - prev[i].Layers[l][j]
+				num += d * d
+				den += prev[i].Layers[l][j] * prev[i].Layers[l][j]
+			}
+		}
+		if den > 0 {
+			total += math.Sqrt(num / den)
+			n++
+		}
+	}
+	if n == 0 {
+		return math.Inf(1)
+	}
+	return total / float64(n)
 }
 
 // UniformMatrix returns the n×n matrix with every entry 1/n (the Avg

@@ -1,0 +1,71 @@
+package aggregate
+
+import (
+	"math/rand"
+	"testing"
+
+	"acme/internal/importance"
+)
+
+func benchSets(rng *rand.Rand, n int) ([]*importance.Set, [][]float64) {
+	sets := make([]*importance.Set, n)
+	for i := range sets {
+		layers := [][]float64{make([]float64, 4096), make([]float64, 1024)}
+		for _, l := range layers {
+			for j := range l {
+				l[j] = rng.NormFloat64()
+			}
+		}
+		sets[i] = &importance.Set{Layers: layers}
+	}
+	sim := make([][]float64, n)
+	for i := range sim {
+		sim[i] = make([]float64, n)
+		for j := range sim[i] {
+			sim[i][j] = 1 / float64(n)
+		}
+	}
+	return sets, sim
+}
+
+// BenchmarkEdgeAggregate compares the edge's per-round aggregation
+// critical path. "materialize" is the pre-streaming baseline: wait for
+// all N uploads, then run the full Combine. "streaming-tail" is what
+// the streaming Combiner leaves on the critical path after the last
+// upload arrives: the earlier N−1 folds already ran overlapped with
+// the uploads (excluded from the timer), so only the final fold plus
+// finalize remains.
+func BenchmarkEdgeAggregate(b *testing.B) {
+	const n = 12
+	rng := rand.New(rand.NewSource(5))
+	sets, sim := benchSets(rng, n)
+
+	b.Run("materialize", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Combine(sets, sim); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("streaming-tail", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			comb, err := NewCombiner(sim)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for j := 0; j < n-1; j++ {
+				if err := comb.Add(j, sets[j]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StartTimer()
+			if err := comb.Add(n-1, sets[n-1]); err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := comb.Result(nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

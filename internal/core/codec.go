@@ -255,9 +255,11 @@ func blobsFromParams(params []*nn.Param, mode QuantMode) []ParamBlob {
 		if mode == QuantLossless {
 			blob.Data = append([]float64(nil), p.Value.Data...)
 		} else {
-			// quantizeValues only fails on an unknown mode, which the
-			// Config validation already rejects.
-			blob.Quant, blob.Scale, _ = quantizeValues(p.Value.Data, mode)
+			// QuantMixed resolves to a concrete lane per tensor; the
+			// chosen mode travels in the blob. quantizeValues only fails
+			// on an unknown mode, which Config validation already rejects.
+			blob.Mode = resolveMode(mode, p.Value.Data)
+			blob.Quant, blob.Scale, _ = quantizeValues(p.Value.Data, blob.Mode)
 		}
 		out[i] = blob
 	}

@@ -68,6 +68,15 @@ type Config struct {
 	// it (§II-A: "repeated iteratively until convergence"). 0 keeps the
 	// fixed-T behaviour.
 	ConvergenceEpsilon float64
+	// DeltaImportance makes devices upload round-t importance sets as
+	// sparse deltas against round t−1 (KindImportanceDelta): a
+	// per-layer changed-index bitmask plus the packed values at changed
+	// positions, with a dense per-layer fallback when the delta would
+	// not be smaller. Reconstruction is bitwise-exact, so seeded
+	// Results are identical with the flag on or off; only the measured
+	// traffic changes. Ignored when TopKFraction sparsification is
+	// active (the legacy top-k payload already is a sparse form).
+	DeltaImportance bool
 	// TopKFraction sparsifies device importance uploads to the top
 	// fraction of entries by magnitude (0 or ≥1 sends dense sets). Low-
 	// importance entries only matter near the discard threshold, so
@@ -103,7 +112,9 @@ type Config struct {
 	// Quantization selects the precision of parameter and importance
 	// payloads. Lossless (default) reproduces bitwise-identical
 	// results across codecs; QuantFloat16/QuantInt8 deterministically
-	// compress model traffic 4×/8× at bounded precision cost.
+	// compress model traffic 4×/8× at bounded precision cost, and
+	// QuantMixed picks float16 or int8 per layer from the measured
+	// quantization error of the payload itself.
 	Quantization QuantMode
 
 	Seed int64

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"acme/internal/aggregate"
 	"acme/internal/importance"
 	"acme/internal/transport"
 )
@@ -43,15 +44,15 @@ func TestSparsifyKeepsAtLeastOne(t *testing.T) {
 func TestSetsDelta(t *testing.T) {
 	a := []*importance.Set{{Layers: [][]float64{{1, 2}}}}
 	b := []*importance.Set{{Layers: [][]float64{{1, 2}}}}
-	if d := setsDelta(a, b); d != 0 {
+	if d := aggregate.SetsDelta(a, b); d != 0 {
 		t.Fatalf("identical sets delta %v", d)
 	}
 	c := []*importance.Set{{Layers: [][]float64{{2, 4}}}}
-	if d := setsDelta(a, c); math.Abs(d-1) > 1e-9 {
+	if d := aggregate.SetsDelta(a, c); math.Abs(d-1) > 1e-9 {
 		t.Fatalf("doubled sets delta %v want 1", d)
 	}
 	zero := []*importance.Set{{Layers: [][]float64{{0, 0}}}}
-	if d := setsDelta(zero, a); !math.IsInf(d, 1) {
+	if d := aggregate.SetsDelta(zero, a); !math.IsInf(d, 1) {
 		t.Fatalf("zero-denominator delta %v", d)
 	}
 }

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"acme/internal/wire"
+)
+
+// This file implements the stateful, delta-aware Phase 2-2 importance
+// exchange (Config.DeltaImportance). Both endpoints hold the previous
+// round's payload in its packed byte form; round-t uploads then travel
+// as wire.DeltaLayer records — a changed-index bitmask plus the packed
+// elements at changed positions — with a dense per-layer fallback when
+// the delta would not be smaller (or when no previous round exists,
+// or when an int8 scale changed between rounds). Deltas are computed
+// and applied bitwise on the packed representation, so a delta-encoded
+// exchange reconstructs exactly the bytes the dense path would have
+// shipped: seeded runs produce bitwise-identical Results with the flag
+// on or off.
+
+// packedLayer is the byte-level wire representation of one importance
+// layer under a concrete quantization mode: raw little-endian float32
+// for lossless, quantizeValues output for float16/int8.
+type packedLayer struct {
+	mode  QuantMode
+	scale float64
+	data  []byte
+}
+
+// elemSize returns the packed bytes per element of a concrete mode.
+func elemSize(mode QuantMode) int {
+	switch mode {
+	case QuantFloat16:
+		return 2
+	case QuantInt8:
+		return 1
+	default:
+		return 4 // lossless ships raw float32
+	}
+}
+
+// packLayers converts dense float64 layers into their packed wire
+// representation under mode, resolving QuantMixed with the set-level
+// mass ranking (the same lanes quantizeLayers would pick).
+func packLayers(layers [][]float64, mode QuantMode) ([]packedLayer, error) {
+	modes := layerModes(layers, mode)
+	out := make([]packedLayer, len(layers))
+	for i, l := range layers {
+		m := modes[i]
+		if m == QuantLossless {
+			data := make([]byte, 4*len(l))
+			for j, v := range l {
+				binary.LittleEndian.PutUint32(data[4*j:], math.Float32bits(float32(v)))
+			}
+			out[i] = packedLayer{mode: m, data: data}
+			continue
+		}
+		data, scale, err := quantizeLane(l, m, mode)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = packedLayer{mode: m, scale: scale, data: data}
+	}
+	return out, nil
+}
+
+// unpackLayer reverses packLayers for one layer, producing the exact
+// float64 values the dense decode path (dequantizeSet/dequantizeLayers)
+// would have produced.
+func unpackLayer(p packedLayer) ([]float64, error) {
+	es := elemSize(p.mode)
+	if len(p.data)%es != 0 {
+		return nil, fmt.Errorf("core: packed layer of %d bytes not a multiple of element size %d", len(p.data), es)
+	}
+	n := len(p.data) / es
+	row := make([]float64, n)
+	if p.mode == QuantLossless {
+		for j := range row {
+			row[j] = float64(math.Float32frombits(binary.LittleEndian.Uint32(p.data[4*j:])))
+		}
+		return row, nil
+	}
+	if err := dequantizeValues(row, p.data, p.scale, p.mode); err != nil {
+		return nil, err
+	}
+	return row, nil
+}
+
+// DeltaLayerPayload is one layer of a delta-encoded importance upload:
+// the concrete quantization lane the layer travels in (QuantMixed is
+// resolved sender-side), its int8 scale, and the wire delta record.
+type DeltaLayerPayload struct {
+	Mode  QuantMode
+	Scale float64
+	Delta wire.DeltaLayer
+}
+
+// DeltaUpload is the device → edge importance set of round Round,
+// encoded against the round Round−1 upload (KindImportanceDelta).
+// Round 0 — and any layer whose packed shape, mode, or scale changed —
+// falls back to the dense form inside the same record.
+type DeltaUpload struct {
+	DeviceID int
+	Round    int
+	Layers   []DeltaLayerPayload
+}
+
+// deltaEncoder is the device side of the exchange: it keeps the packed
+// form of the last upload the edge has (the loop is synchronous, so
+// last-sent is last-acked) and emits each round as deltas against it.
+type deltaEncoder struct {
+	mode QuantMode
+	prev []packedLayer
+}
+
+// encode packs layers under the encoder's mode and expresses each
+// layer as a delta against the previous round where that is valid and
+// smaller.
+func (e *deltaEncoder) encode(deviceID, round int, layers [][]float64) (DeltaUpload, error) {
+	cur, err := packLayers(layers, e.mode)
+	if err != nil {
+		return DeltaUpload{}, err
+	}
+	up := DeltaUpload{DeviceID: deviceID, Round: round, Layers: make([]DeltaLayerPayload, len(cur))}
+	for i, c := range cur {
+		es := elemSize(c.mode)
+		pl := DeltaLayerPayload{Mode: c.mode, Scale: c.scale}
+		// A sparse delta is only meaningful when the previous layer has
+		// the same packed interpretation: same lane, same int8 scale,
+		// same length. DiffLayer additionally falls back to dense when
+		// the sparse form would not be smaller.
+		if i < len(e.prev) && e.prev[i].mode == c.mode && e.prev[i].scale == c.scale {
+			pl.Delta = wire.DiffLayer(e.prev[i].data, c.data, es)
+		} else {
+			pl.Delta = wire.DeltaLayer{N: len(c.data) / es, Elem: es, Dense: true, Changed: c.data}
+		}
+		up.Layers[i] = pl
+	}
+	e.prev = cur
+	return up, nil
+}
+
+// deltaDecoder is the edge side: the per-device shadow copy of the
+// last reconstructed packed upload.
+type deltaDecoder struct {
+	prev []packedLayer
+}
+
+// apply reconstructs the dense float64 layers of up against the shadow
+// and advances the shadow to round Round. Every field of up is
+// wire-controlled; shape, mode, and scale are validated before any
+// allocation or indexing derived from them.
+func (d *deltaDecoder) apply(up DeltaUpload) ([][]float64, error) {
+	if d.prev != nil && len(d.prev) != len(up.Layers) {
+		return nil, fmt.Errorf("core: delta upload has %d layers, shadow has %d", len(up.Layers), len(d.prev))
+	}
+	if d.prev == nil {
+		d.prev = make([]packedLayer, len(up.Layers))
+	}
+	out := make([][]float64, len(up.Layers))
+	for i, pl := range up.Layers {
+		if !pl.Mode.Valid() || pl.Mode == QuantMixed {
+			return nil, fmt.Errorf("core: delta layer %d carries non-concrete mode %v", i, pl.Mode)
+		}
+		es := elemSize(pl.Mode)
+		if pl.Delta.Elem != es {
+			return nil, fmt.Errorf("core: delta layer %d element size %d does not match mode %v (%d)",
+				i, pl.Delta.Elem, pl.Mode, es)
+		}
+		var prevData []byte
+		if !pl.Delta.Dense {
+			if d.prev[i].data == nil {
+				return nil, fmt.Errorf("core: sparse delta for layer %d with no shadow round", i)
+			}
+			if d.prev[i].mode != pl.Mode || d.prev[i].scale != pl.Scale {
+				return nil, fmt.Errorf("core: sparse delta for layer %d changes mode/scale (%v/%g → %v/%g)",
+					i, d.prev[i].mode, d.prev[i].scale, pl.Mode, pl.Scale)
+			}
+			prevData = d.prev[i].data
+		}
+		data, err := pl.Delta.Apply(prevData)
+		if err != nil {
+			return nil, fmt.Errorf("core: delta layer %d: %w", i, err)
+		}
+		d.prev[i] = packedLayer{mode: pl.Mode, scale: pl.Scale, data: data}
+		row, err := unpackLayer(d.prev[i])
+		if err != nil {
+			return nil, fmt.Errorf("core: delta layer %d: %w", i, err)
+		}
+		out[i] = row
+	}
+	return out, nil
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sort"
 )
 
 // QuantMode selects the precision of model-parameter and
@@ -26,6 +27,17 @@ const (
 	// signed bytes: 8× smaller parameters, absolute error bounded by
 	// maxAbs/254 per tensor.
 	QuantInt8
+	// QuantMixed picks the precision per layer from the importance
+	// masks being shipped. Importance sets rank layers by their share
+	// of the set's total mass: the heaviest layers — the ones that
+	// decide pruning — keep float16, while the bulk of the elements
+	// take the 1-byte int8 lane (resolveMixedLayerModes). Parameter
+	// tensors use a measured-error rule instead: int8 unless its
+	// relative RMS quantization error exceeds mixedInt8RelErrMax
+	// (mixedLayerMode). The chosen mode travels per layer
+	// (QuantLayer.Mode / ParamBlob.Mode), so decoding needs no
+	// negotiation.
+	QuantMixed
 )
 
 // String implements fmt.Stringer.
@@ -37,6 +49,8 @@ func (m QuantMode) String() string {
 		return "float16"
 	case QuantInt8:
 		return "int8"
+	case QuantMixed:
+		return "mixed"
 	default:
 		return fmt.Sprintf("QuantMode(%d)", int(m))
 	}
@@ -51,14 +65,16 @@ func ParseQuantMode(s string) (QuantMode, error) {
 		return QuantFloat16, nil
 	case "int8":
 		return QuantInt8, nil
+	case "mixed":
+		return QuantMixed, nil
 	default:
-		return 0, fmt.Errorf("core: unknown quantization %q (want lossless, float16 or int8)", s)
+		return 0, fmt.Errorf("core: unknown quantization %q (want lossless, float16, int8 or mixed)", s)
 	}
 }
 
 // Valid reports whether m is a known mode.
 func (m QuantMode) Valid() bool {
-	return m == QuantLossless || m == QuantFloat16 || m == QuantInt8
+	return m == QuantLossless || m == QuantFloat16 || m == QuantInt8 || m == QuantMixed
 }
 
 // float16bits converts a float64 to IEEE 754 binary16 with
@@ -136,6 +152,21 @@ func int8Scale(maxAbs float64) float64 {
 	return maxAbs / 127
 }
 
+// pow2Int8Scale returns the smallest power of two ≥ int8Scale(maxAbs).
+// QuantMixed's int8 lane snaps scales to powers of two so the scale
+// only moves when a layer's max-abs crosses a binade: successive
+// rounds of a converging importance loop then share the exact scale,
+// which is what lets delta encoding find unchanged int8 codes (a
+// fresh max-abs scale would differ every round and force the dense
+// fallback). Costs at most one bit of resolution vs the exact scale.
+func pow2Int8Scale(maxAbs float64) float64 {
+	s := int8Scale(maxAbs)
+	if s == 0 {
+		return 0
+	}
+	return math.Ldexp(1, int(math.Ceil(math.Log2(s))))
+}
+
 func maxAbs64(vals []float64) float64 {
 	var m float64
 	for _, v := range vals {
@@ -144,6 +175,108 @@ func maxAbs64(vals []float64) float64 {
 		}
 	}
 	return m
+}
+
+// mixedInt8RelErrMax is the relative RMS quantization error above
+// which QuantMixed rejects the int8 lane for a layer and keeps
+// float16. 3% is far below the rank perturbation int8 mode already
+// accepts globally, so mixed is never less faithful than plain int8.
+const mixedInt8RelErrMax = 0.03
+
+// mixedLayerMode resolves QuantMixed for one layer: int8 when the
+// measured relative RMS error of int8 quantization stays below
+// mixedInt8RelErrMax, float16 otherwise. The rule is a pure function
+// of the values, so the sender's choice is reproducible anywhere.
+func mixedLayerMode(vals []float64) QuantMode {
+	scale := int8Scale(maxAbs64(vals))
+	if scale == 0 {
+		return QuantInt8 // all-zero layer: 1 byte per value, exact
+	}
+	var errSq, rmsSq float64
+	for _, v := range vals {
+		q := math.RoundToEven(v / scale)
+		if q > 127 {
+			q = 127
+		} else if q < -127 {
+			q = -127
+		}
+		d := v - q*scale
+		errSq += d * d
+		rmsSq += v * v
+	}
+	if errSq <= mixedInt8RelErrMax*mixedInt8RelErrMax*rmsSq {
+		return QuantInt8
+	}
+	return QuantFloat16
+}
+
+// resolveMode collapses QuantMixed to the concrete per-tensor mode via
+// the measured-error rule (the parameter-blob policy); the packed
+// modes pass through unchanged.
+func resolveMode(mode QuantMode, vals []float64) QuantMode {
+	if mode == QuantMixed {
+		return mixedLayerMode(vals)
+	}
+	return mode
+}
+
+// mixedFloat16MassShare is the share of an importance set's total mass
+// that stays in the float16 lane under QuantMixed; everything past it
+// rides int8. Importance mass is heavy-tailed across layers, so the
+// float16 layers are few while the int8 lane carries most elements.
+const mixedFloat16MassShare = 0.5
+
+// resolveMixedLayerModes picks the per-layer lane for a whole
+// importance set: layers ranked by L1 mass keep float16 until the
+// cumulative share reaches mixedFloat16MassShare; the rest take int8.
+// The rule is a pure function of the uploaded set and the chosen lane
+// travels per layer, so the receiver needs no negotiation.
+func resolveMixedLayerModes(layers [][]float64) []QuantMode {
+	n := len(layers)
+	modes := make([]QuantMode, n)
+	mass := make([]float64, n)
+	var total float64
+	for i, l := range layers {
+		var m float64
+		for _, v := range l {
+			m += math.Abs(v)
+		}
+		mass[i] = m
+		total += m
+	}
+	if total == 0 {
+		for i := range modes {
+			modes[i] = QuantInt8 // all-zero set: exact in 1 byte per value
+		}
+		return modes
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return mass[idx[a]] > mass[idx[b]] })
+	var cum float64
+	for _, i := range idx {
+		if cum < mixedFloat16MassShare*total {
+			modes[i] = QuantFloat16
+		} else {
+			modes[i] = QuantInt8
+		}
+		cum += mass[i]
+	}
+	return modes
+}
+
+// layerModes expands mode into one concrete lane per layer.
+func layerModes(layers [][]float64, mode QuantMode) []QuantMode {
+	if mode == QuantMixed {
+		return resolveMixedLayerModes(layers)
+	}
+	modes := make([]QuantMode, len(layers))
+	for i := range modes {
+		modes[i] = mode
+	}
+	return modes
 }
 
 // quantizeValues packs vals according to mode: float16 → 2 bytes LE
@@ -158,23 +291,39 @@ func quantizeValues(vals []float64, mode QuantMode) (data []byte, scale float64,
 		return data, 0, nil
 	case QuantInt8:
 		scale = int8Scale(maxAbs64(vals))
-		data = make([]byte, len(vals))
-		if scale == 0 {
-			return data, 0, nil
-		}
-		for i, v := range vals {
-			q := math.RoundToEven(v / scale)
-			if q > 127 {
-				q = 127
-			} else if q < -127 {
-				q = -127
-			}
-			data[i] = byte(int8(q))
-		}
-		return data, scale, nil
+		return int8Pack(vals, scale), scale, nil
 	default:
 		return nil, 0, fmt.Errorf("core: quantizeValues: mode %v has no packed form", mode)
 	}
+}
+
+// int8Pack rounds vals to signed bytes under the given scale.
+func int8Pack(vals []float64, scale float64) []byte {
+	data := make([]byte, len(vals))
+	if scale == 0 {
+		return data
+	}
+	for i, v := range vals {
+		q := math.RoundToEven(v / scale)
+		if q > 127 {
+			q = 127
+		} else if q < -127 {
+			q = -127
+		}
+		data[i] = byte(int8(q))
+	}
+	return data
+}
+
+// quantizeLane packs one layer into its concrete lane. Layers whose
+// lane was assigned by QuantMixed use the round-stable power-of-two
+// int8 scale; plain int8 keeps the exact max-abs scale.
+func quantizeLane(l []float64, lane, requested QuantMode) (data []byte, scale float64, err error) {
+	if lane == QuantInt8 && requested == QuantMixed {
+		scale = pow2Int8Scale(maxAbs64(l))
+		return int8Pack(l, scale), scale, nil
+	}
+	return quantizeValues(l, lane)
 }
 
 // dequantizeValues reverses quantizeValues into dst, which must have
@@ -211,15 +360,17 @@ type QuantLayer struct {
 	Data  []byte
 }
 
-// quantizeLayers packs dense importance layers for the wire.
+// quantizeLayers packs dense importance layers for the wire. For
+// QuantMixed the set-level mass ranking assigns each layer its lane.
 func quantizeLayers(layers [][]float64, mode QuantMode) ([]QuantLayer, error) {
+	modes := layerModes(layers, mode)
 	out := make([]QuantLayer, len(layers))
 	for i, l := range layers {
-		data, scale, err := quantizeValues(l, mode)
+		data, scale, err := quantizeLane(l, modes[i], mode)
 		if err != nil {
 			return nil, err
 		}
-		out[i] = QuantLayer{Mode: mode, Scale: scale, N: len(l), Data: data}
+		out[i] = QuantLayer{Mode: modes[i], Scale: scale, N: len(l), Data: data}
 	}
 	return out, nil
 }

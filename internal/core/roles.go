@@ -3,9 +3,9 @@ package core
 import (
 	"context"
 	"fmt"
-	"math"
 	"math/rand"
 	"sort"
+	"time"
 
 	"acme/internal/aggregate"
 	"acme/internal/data"
@@ -149,7 +149,15 @@ func (s *System) runEdge(ctx context.Context, edgeID int) error {
 	members := s.clusters[edgeID]
 	rng := rand.New(rand.NewSource(s.Cfg.Seed + 2000 + int64(edgeID)))
 
-	// 1. Gather device stats and shared-data shards.
+	// 1. Gather device stats and shared-data shards. Uploads are keyed
+	// by device ID, so a duplicate (a retransmitting device) or an
+	// upload for a device outside this cluster is rejected with an
+	// error naming the sender and kind instead of silently overwriting
+	// the first copy.
+	memberIDs := make(map[int]bool, len(members))
+	for _, di := range members {
+		memberIDs[s.devices[di].ID] = true
+	}
 	devStats := make(map[int]DeviceStats, len(members))
 	shards := make(map[int]RawShard, len(members))
 	for len(devStats) < len(members) || len(shards) < len(members) {
@@ -161,13 +169,25 @@ func (s *System) runEdge(ctx context.Context, edgeID int) error {
 		case transport.KindStats:
 			var ds DeviceStats
 			if err := s.decode(msg.Payload, &ds); err != nil {
-				return err
+				return fmt.Errorf("decode %v from %s during setup: %w", msg.Kind, msg.From, err)
+			}
+			if !memberIDs[ds.ID] {
+				return fmt.Errorf("%v from %s for device %d outside cluster %d", msg.Kind, msg.From, ds.ID, edgeID)
+			}
+			if _, dup := devStats[ds.ID]; dup {
+				return fmt.Errorf("duplicate %v from %s for device %d", msg.Kind, msg.From, ds.ID)
 			}
 			devStats[ds.ID] = ds
 		case transport.KindProvision:
 			var sh RawShard
 			if err := s.decode(msg.Payload, &sh); err != nil {
-				return err
+				return fmt.Errorf("decode %v from %s during setup: %w", msg.Kind, msg.From, err)
+			}
+			if !memberIDs[sh.DeviceID] {
+				return fmt.Errorf("%v from %s for device %d outside cluster %d", msg.Kind, msg.From, sh.DeviceID, edgeID)
+			}
+			if _, dup := shards[sh.DeviceID]; dup {
+				return fmt.Errorf("duplicate %v from %s for device %d", msg.Kind, msg.From, sh.DeviceID)
 			}
 			shards[sh.DeviceID] = sh
 		default:
@@ -233,8 +253,12 @@ func (s *System) runEdge(ctx context.Context, edgeID int) error {
 		}
 	}
 
-	// 6. Phase 2-2 loop: similarity matrix once, then T aggregation
-	// rounds.
+	// 6. Phase 2-2 loop: similarity matrix once, then up to T streaming
+	// aggregation rounds. Uploads arrive dense (KindImportanceSet) or
+	// delta-encoded against round t−1 (KindImportanceDelta); either way
+	// each one is folded into the similarity-weighted accumulators as
+	// soon as it is decoded, instead of materializing all |N| sets and
+	// combining behind a barrier.
 	sim, err := s.similarityMatrix(members, shards, rng)
 	if err != nil {
 		return err
@@ -245,40 +269,90 @@ func (s *System) runEdge(ctx context.Context, edgeID int) error {
 	for i, di := range order {
 		pos[s.devices[di].ID] = i
 	}
+	shadows := make([]deltaDecoder, len(order))
 	var prev []*importance.Set
 	for t := 0; t < s.Cfg.Phase2Rounds; t++ {
-		sets := make([]*importance.Set, len(order))
-		for i := 0; i < len(order); i++ {
-			msg, err := transport.RecvKind(ctx, s.Net, name, transport.KindImportanceSet)
-			if err != nil {
-				return err
-			}
-			var up ImportanceUpload
-			if err := s.decode(msg.Payload, &up); err != nil {
-				return err
-			}
-			p, ok := pos[up.DeviceID]
-			if !ok {
-				return fmt.Errorf("importance set from unknown device %d", up.DeviceID)
-			}
-			layers, err := up.layers()
-			if err != nil {
-				return err
-			}
-			sets[p] = &importance.Set{Layers: layers}
-		}
-		combined, err := aggregate.Combine(sets, sim)
+		comb, err := aggregate.NewCombiner(sim)
 		if err != nil {
 			return err
 		}
+		rs := Phase2RoundStat{EdgeID: edgeID, Round: t}
+		for comb.Added() < len(order) {
+			msg, err := s.Net.Recv(ctx, name)
+			if err != nil {
+				return err
+			}
+			busy := time.Now()
+			var devID, p int
+			var layers [][]float64
+			switch msg.Kind {
+			case transport.KindImportanceSet:
+				var up ImportanceUpload
+				if err := s.decode(msg.Payload, &up); err != nil {
+					return fmt.Errorf("decode %v from %s in round %d: %w", msg.Kind, msg.From, t, err)
+				}
+				devID = up.DeviceID
+				if p, err = posOf(pos, msg, devID); err != nil {
+					return err
+				}
+				if layers, err = up.layers(); err != nil {
+					return fmt.Errorf("%v from %s (device %d): %w", msg.Kind, msg.From, devID, err)
+				}
+				// A dense upload does not advance the delta shadow, so
+				// drop it: a later sparse delta from this device must
+				// fail ("no shadow round") rather than silently
+				// reconstruct against a stale round.
+				shadows[p] = deltaDecoder{}
+				rs.DenseMessages++
+			case transport.KindImportanceDelta:
+				var up DeltaUpload
+				if err := s.decode(msg.Payload, &up); err != nil {
+					return fmt.Errorf("decode %v from %s in round %d: %w", msg.Kind, msg.From, t, err)
+				}
+				devID = up.DeviceID
+				if p, err = posOf(pos, msg, devID); err != nil {
+					return err
+				}
+				if up.Round != t {
+					return fmt.Errorf("%v from %s (device %d) carries round %d during round %d",
+						msg.Kind, msg.From, devID, up.Round, t)
+				}
+				if layers, err = shadows[p].apply(up); err != nil {
+					return fmt.Errorf("%v from %s (device %d): %w", msg.Kind, msg.From, devID, err)
+				}
+				rs.DeltaMessages++
+			default:
+				return fmt.Errorf("unexpected %v from %s during aggregation round %d", msg.Kind, msg.From, t)
+			}
+			// A second upload for an already-folded position (device
+			// retransmission) surfaces here as a combiner error rather
+			// than silently replacing the first copy.
+			if err := comb.Add(p, &importance.Set{Layers: layers}); err != nil {
+				return fmt.Errorf("%v from %s (device %d): %w", msg.Kind, msg.From, devID, err)
+			}
+			rs.UploadBytes += int64(len(msg.Payload)) + transport.HeaderEstimate
+			rs.AggregateNS += time.Since(busy).Nanoseconds()
+		}
+		// The fused convergence pass only runs when convergence checking
+		// is on: a nil prev short-circuits SetsDelta to +Inf.
+		prevForDelta := prev
+		if s.Cfg.ConvergenceEpsilon <= 0 {
+			prevForDelta = nil
+		}
+		busy := time.Now()
+		combined, delta, err := comb.Result(prevForDelta)
+		if err != nil {
+			return err
+		}
+		rs.AggregateNS += time.Since(busy).Nanoseconds()
+		s.recordPhase2Round(rs)
 		// The loop ends at the round budget or on convergence of the
 		// aggregated sets (§II-A: "repeated iteratively until
-		// convergence").
+		// convergence"). The delta comes fused out of the combiner's
+		// finalize pass; round 0 reports +Inf (no previous round).
 		done := t+1 >= s.Cfg.Phase2Rounds
-		if !done && s.Cfg.ConvergenceEpsilon > 0 && prev != nil {
-			if setsDelta(prev, combined) < s.Cfg.ConvergenceEpsilon {
-				done = true
-			}
+		if !done && s.Cfg.ConvergenceEpsilon > 0 && delta < s.Cfg.ConvergenceEpsilon {
+			done = true
 		}
 		prev = combined
 		discard := s.Cfg.DiscardPerRound * (t + 1)
@@ -303,29 +377,14 @@ func (s *System) runEdge(ctx context.Context, edgeID int) error {
 	return nil
 }
 
-// setsDelta measures the mean relative L2 change between consecutive
-// rounds' aggregated importance sets.
-func setsDelta(prev, cur []*importance.Set) float64 {
-	var total float64
-	var n int
-	for i := range cur {
-		var num, den float64
-		for l := range cur[i].Layers {
-			for j := range cur[i].Layers[l] {
-				d := cur[i].Layers[l][j] - prev[i].Layers[l][j]
-				num += d * d
-				den += prev[i].Layers[l][j] * prev[i].Layers[l][j]
-			}
-		}
-		if den > 0 {
-			total += math.Sqrt(num / den)
-			n++
-		}
+// posOf resolves a device ID to its cluster position, naming the
+// offending sender and kind when the device is unknown.
+func posOf(pos map[int]int, msg transport.Message, devID int) (int, error) {
+	p, ok := pos[devID]
+	if !ok {
+		return 0, fmt.Errorf("%v from %s for unknown device %d", msg.Kind, msg.From, devID)
 	}
-	if n == 0 {
-		return math.Inf(1)
-	}
-	return total / float64(n)
+	return p, nil
 }
 
 // mergeShards concatenates the uploaded device shards into the edge's
@@ -451,25 +510,42 @@ func (s *System) runDevice(ctx context.Context, edgeID, devIdx int) error {
 
 	// 4. Single-loop refinement (Algorithm 2, device side). The edge
 	// signals the final round via PersonalizedSet.Done (round budget or
-	// convergence).
+	// convergence). With DeltaImportance on, uploads after round 0
+	// travel as sparse deltas against the previous round's payload;
+	// top-k sparsification keeps its legacy payload (already sparse).
+	topK := s.Cfg.TopKFraction > 0 && s.Cfg.TopKFraction < 1
+	var enc *deltaEncoder
+	if s.Cfg.DeltaImportance && !topK {
+		enc = &deltaEncoder{mode: s.Cfg.Quantization}
+	}
 	for t := 0; t < s.Cfg.Phase2Rounds; t++ {
 		set, err := nas.ComputeImportanceSet(header, local, s.Cfg.LocalBatch, 8, rng)
 		if err != nil {
 			return err
 		}
-		up := ImportanceUpload{DeviceID: dev.ID}
-		if frac := s.Cfg.TopKFraction; frac > 0 && frac < 1 {
-			up.Sparse = sparsifySet(set.Layers, frac)
-		} else if s.Cfg.Quantization != QuantLossless {
-			up.Quant, err = quantizeLayers(set.Layers, s.Cfg.Quantization)
+		if enc != nil {
+			up, err := enc.encode(dev.ID, t, set.Layers)
 			if err != nil {
 				return err
 			}
+			if err := s.send(transport.KindImportanceDelta, name, edge, up); err != nil {
+				return err
+			}
 		} else {
-			up.Layers = quantizeSet(set.Layers)
-		}
-		if err := s.send(transport.KindImportanceSet, name, edge, up); err != nil {
-			return err
+			up := ImportanceUpload{DeviceID: dev.ID}
+			if topK {
+				up.Sparse = sparsifySet(set.Layers, s.Cfg.TopKFraction)
+			} else if s.Cfg.Quantization != QuantLossless {
+				up.Quant, err = quantizeLayers(set.Layers, s.Cfg.Quantization)
+				if err != nil {
+					return err
+				}
+			} else {
+				up.Layers = quantizeSet(set.Layers)
+			}
+			if err := s.send(transport.KindImportanceSet, name, edge, up); err != nil {
+				return err
+			}
 		}
 		msg, err := transport.RecvKind(ctx, s.Net, name, transport.KindPersonalizedSet)
 		if err != nil {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 
 	"acme/internal/cluster"
@@ -16,11 +17,31 @@ import (
 	"acme/internal/transport"
 )
 
+// Phase2RoundStat captures one edge server's round of the Phase 2-2
+// importance loop: the uplink volume it received (wire bytes including
+// the per-message header estimate), how many uploads arrived dense vs
+// delta-encoded, and the busy time the edge spent decoding, folding,
+// and finalizing the aggregation (the streaming pipeline's critical
+// path, excluding the wait for device training).
+type Phase2RoundStat struct {
+	EdgeID        int
+	Round         int
+	UploadBytes   int64
+	DenseMessages int
+	DeltaMessages int
+	AggregateNS   int64
+}
+
 // Result aggregates the outcome of one full ACME run.
 type Result struct {
 	Reports     []DeviceReport
 	Assignments map[int]pareto.Candidate // edge id → selected backbone
 	Stats       *transport.Stats
+
+	// Phase2Rounds traces the importance loop per edge and round,
+	// ordered by (EdgeID, Round) — the data behind the byte/latency
+	// trajectory of BENCH_3.json.
+	Phase2Rounds []Phase2RoundStat
 
 	// UploadBytes is the measured uplink volume of ACME's protocol
 	// (device stats + shared-data shards + importance sets + edge
@@ -79,8 +100,9 @@ type System struct {
 	devTrain []*data.Dataset
 	devTest  []*data.Dataset
 
-	mu          sync.Mutex
-	assignments map[int]pareto.Candidate
+	mu           sync.Mutex
+	assignments  map[int]pareto.Candidate
+	phase2Rounds []Phase2RoundStat
 }
 
 // NewSystem validates cfg and materializes the fleet and datasets.
@@ -285,16 +307,19 @@ func (s *System) Run(ctx context.Context) (*Result, error) {
 	}
 
 	res := &Result{
-		Reports:     reports,
-		Assignments: s.assignmentsCopy(),
-		Stats:       s.networkStats(),
+		Reports:      reports,
+		Assignments:  s.assignmentsCopy(),
+		Stats:        s.networkStats(),
+		Phase2Rounds: s.phase2RoundsCopy(),
 	}
 	// Uplink kinds only: device/edge statistics, shared-data shards, and
-	// importance sets — what Table I's "Upload Data" column measures.
+	// importance sets (dense or delta-encoded) — what Table I's "Upload
+	// Data" column measures.
 	byKind := res.Stats.BytesByKind()
 	res.UploadBytes = byKind[transport.KindStats] +
 		byKind[transport.KindRawData] +
-		byKind[transport.KindImportanceSet]
+		byKind[transport.KindImportanceSet] +
+		byKind[transport.KindImportanceDelta]
 	res.CentralizedUploadBytes = s.centralizedBytes()
 	res.SearchSpaceOurs = float64(len(s.clusters)) * nas.SpaceSize(s.Cfg.Search.Blocks)
 	res.SearchSpaceCS = float64(len(s.devices)) * nas.SpaceSize(s.Cfg.Search.Blocks) *
@@ -383,6 +408,27 @@ func (s *System) centralizedBytes() int64 {
 		}
 	}
 	return total
+}
+
+// recordPhase2Round stores one edge round's loop statistics for the
+// Result trace.
+func (s *System) recordPhase2Round(rs Phase2RoundStat) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.phase2Rounds = append(s.phase2Rounds, rs)
+}
+
+func (s *System) phase2RoundsCopy() []Phase2RoundStat {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := append([]Phase2RoundStat(nil), s.phase2Rounds...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].EdgeID != out[j].EdgeID {
+			return out[i].EdgeID < out[j].EdgeID
+		}
+		return out[i].Round < out[j].Round
+	})
+	return out
 }
 
 func (s *System) recordAssignment(edgeID int, cand pareto.Candidate) {

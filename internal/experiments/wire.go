@@ -3,18 +3,20 @@ package experiments
 import "acme/internal/core"
 
 // Wire options applied to every measured system run, settable from
-// acmebench's -wire/-quant flags. Zero values keep the config
-// defaults (binary codec, lossless payloads).
+// acmebench's -wire/-quant/-delta flags. Zero values keep the config
+// defaults (binary codec, lossless payloads, dense uploads).
 var (
-	wireFormat string
-	quantMode  core.QuantMode
+	wireFormat  string
+	quantMode   core.QuantMode
+	deltaUpload bool
 )
 
-// SetWireOptions overrides the wire format and quantization used by
-// the measured (micro-scale) experiments.
-func SetWireOptions(format string, quant core.QuantMode) {
+// SetWireOptions overrides the wire format, quantization, and delta
+// encoding used by the measured (micro-scale) experiments.
+func SetWireOptions(format string, quant core.QuantMode, delta bool) {
 	wireFormat = format
 	quantMode = quant
+	deltaUpload = delta
 }
 
 func applyWireOptions(cfg *core.Config) {
@@ -23,5 +25,8 @@ func applyWireOptions(cfg *core.Config) {
 	}
 	if quantMode != core.QuantLossless {
 		cfg.Quantization = quantMode
+	}
+	if deltaUpload {
+		cfg.DeltaImportance = true
 	}
 }

@@ -70,6 +70,14 @@ func startPool() {
 	}
 }
 
+// ParallelFor splits [0, n) into up to Parallelism() contiguous blocks
+// and runs fn over each on the package worker pool — the exported
+// entry point for callers with independent per-index work (e.g. the
+// aggregate.Combiner folding one upload into every output accumulator).
+// fn must only write state owned by its index range; partitioning is
+// deterministic, so results are bitwise independent of the pool.
+func ParallelFor(n int, fn func(start, end int)) { parallelFor(n, fn) }
+
 // parallelFor splits [0, n) into up to Parallelism() contiguous blocks
 // and runs fn over each. The caller executes the first block itself;
 // the rest go to the worker pool, falling back to inline execution when

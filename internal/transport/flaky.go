@@ -9,19 +9,22 @@ import (
 
 // Flaky wraps a Network with failure injection: random delivery delays
 // (and therefore cross-sender reordering) and optional duplication.
-// ACME's protocol must tolerate both — messages of the same round can
-// arrive in any order, and idempotent handling absorbs duplicates of
-// idempotent kinds. Message loss is deliberately not injected: the
-// protocol assumes a reliable transport (TCP), as the paper's
-// deployment does.
+// ACME's protocol must tolerate reordering — messages of the same
+// round can arrive in any order. Duplicates, by contrast, are treated
+// as protocol violations on every edge-bound kind (setup stats,
+// shards, and importance uploads are all rejected loudly rather than
+// silently overwritten), so DuplicateProb is a fault-injection knob
+// for asserting that rejection, not something runs tolerate. Message
+// loss is deliberately not injected: the protocol assumes a reliable
+// transport (TCP), as the paper's deployment does.
 type Flaky struct {
 	inner Network
 
 	// MaxDelay bounds the random delivery delay per message.
 	MaxDelay time.Duration
-	// DuplicateProb duplicates a message with this probability.
-	// Only safe for kinds the receiver treats idempotently; the
-	// system-level test keeps it at 0.
+	// DuplicateProb duplicates a message with this probability. A
+	// duplicated edge-bound upload fails the run by design (duplicate
+	// rejection); the system-level test keeps it at 0.
 	DuplicateProb float64
 
 	mu  sync.Mutex

@@ -116,6 +116,10 @@ func (t *TCP) readLoop(conn net.Conn) {
 		if closed {
 			return
 		}
+		// Received-side accounting happens here, at the socket, so a
+		// node's stats cover its real inbound traffic even though the
+		// sender's Stats object lives in another process.
+		t.stats.recordRecv(msg)
 		t.inbox <- msg
 	}
 }
@@ -124,6 +128,7 @@ func (t *TCP) readLoop(conn net.Conn) {
 func (t *TCP) Send(msg Message) error {
 	if msg.To == t.node {
 		t.stats.record(msg)
+		t.stats.recordRecv(msg)
 		t.inbox <- msg
 		return nil
 	}

@@ -29,6 +29,7 @@ const (
 	KindRawData                         // device → edge/cloud: raw training samples
 	KindControl                         // coordination/acknowledgement
 	KindProvision                       // out-of-band setup: shared data already stored at the edge
+	KindImportanceDelta                 // device → edge: importance set as a delta vs round t−1
 )
 
 // String implements fmt.Stringer.
@@ -50,6 +51,8 @@ func (k Kind) String() string {
 		return "control"
 	case KindProvision:
 		return "provision"
+	case KindImportanceDelta:
+		return "importance-delta"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -86,35 +89,52 @@ type Network interface {
 	Recv(ctx context.Context, node string) (Message, error)
 }
 
-// Stats aggregates traffic counters. Wire byte counts include the
-// payload plus a fixed per-message header estimate; raw byte counts
-// are the logical in-memory payload sizes before encoding, so the
-// raw/wire quotient is the measured compression ratio of the codec.
+// HeaderEstimate is the fixed per-message framing overhead added to
+// every wire byte counter (kind + addressing + length prefix). Exported
+// so byte accounting done outside this package (e.g. the per-round
+// Phase 2-2 trace) matches the per-kind counters exactly.
+const HeaderEstimate = 16
+
+// Stats aggregates traffic counters in both directions. Wire byte
+// counts include the payload plus the HeaderEstimate per message; raw
+// byte counts are the logical in-memory payload sizes before encoding,
+// so the raw/wire quotient is the measured compression ratio of the
+// codec. Sent counters are recorded when a node hands a message to the
+// network. Received counters are recorded where inbound traffic
+// becomes observable to the node: Memory records them when Recv
+// consumes a message, while a TCP node records them when a frame
+// arrives off a socket (readLoop) or is self-delivered in Send — so on
+// TCP they cover everything that reached the node, even if a later
+// abort leaves some of it unconsumed in the inbox.
 type Stats struct {
-	mu           sync.Mutex
-	bytesBySrc   map[string]int64
-	bytesByKind  map[Kind]int64
-	rawByKind    map[Kind]int64
-	msgsByKind   map[Kind]int64
-	totalBytes   int64
-	totalRaw     int64
-	totalMsgs    int64
-	headerEstLen int64
+	mu              sync.Mutex
+	bytesBySrc      map[string]int64
+	bytesByKind     map[Kind]int64
+	rawByKind       map[Kind]int64
+	msgsByKind      map[Kind]int64
+	recvBytesByKind map[Kind]int64
+	recvMsgsByKind  map[Kind]int64
+	totalBytes      int64
+	totalRaw        int64
+	totalMsgs       int64
+	totalRecvBytes  int64
+	totalRecvMsgs   int64
 }
 
 // NewStats returns an empty counter set.
 func NewStats() *Stats {
 	return &Stats{
-		bytesBySrc:   make(map[string]int64),
-		bytesByKind:  make(map[Kind]int64),
-		rawByKind:    make(map[Kind]int64),
-		msgsByKind:   make(map[Kind]int64),
-		headerEstLen: 16,
+		bytesBySrc:      make(map[string]int64),
+		bytesByKind:     make(map[Kind]int64),
+		rawByKind:       make(map[Kind]int64),
+		msgsByKind:      make(map[Kind]int64),
+		recvBytesByKind: make(map[Kind]int64),
+		recvMsgsByKind:  make(map[Kind]int64),
 	}
 }
 
 func (s *Stats) record(msg Message) {
-	n := int64(len(msg.Payload)) + s.headerEstLen
+	n := int64(len(msg.Payload)) + HeaderEstimate
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.bytesBySrc[msg.From] += n
@@ -124,6 +144,16 @@ func (s *Stats) record(msg Message) {
 	s.totalBytes += n
 	s.totalRaw += int64(msg.Raw)
 	s.totalMsgs++
+}
+
+func (s *Stats) recordRecv(msg Message) {
+	n := int64(len(msg.Payload)) + HeaderEstimate
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.recvBytesByKind[msg.Kind] += n
+	s.recvMsgsByKind[msg.Kind]++
+	s.totalRecvBytes += n
+	s.totalRecvMsgs++
 }
 
 // TotalBytes returns the total bytes moved.
@@ -181,6 +211,44 @@ func (s *Stats) RawBytesByKind() map[Kind]int64 {
 	return out
 }
 
+// ReceivedBytesByKind returns a copy of the per-kind wire byte
+// counters of consumed (received) messages.
+func (s *Stats) ReceivedBytesByKind() map[Kind]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[Kind]int64, len(s.recvBytesByKind))
+	for k, v := range s.recvBytesByKind {
+		out[k] = v
+	}
+	return out
+}
+
+// ReceivedMessagesByKind returns a copy of the per-kind received
+// message counters.
+func (s *Stats) ReceivedMessagesByKind() map[Kind]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[Kind]int64, len(s.recvMsgsByKind))
+	for k, v := range s.recvMsgsByKind {
+		out[k] = v
+	}
+	return out
+}
+
+// TotalReceivedBytes returns the total bytes consumed by receivers.
+func (s *Stats) TotalReceivedBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.totalRecvBytes
+}
+
+// TotalReceivedMessages returns the total messages consumed.
+func (s *Stats) TotalReceivedMessages() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.totalRecvMsgs
+}
+
 // TotalRawBytes returns the total pre-encoding payload bytes.
 func (s *Stats) TotalRawBytes() int64 {
 	s.mu.Lock()
@@ -200,15 +268,22 @@ func (s *Stats) CompressionRatio() float64 {
 	return float64(s.totalRaw) / float64(s.totalBytes)
 }
 
-// Kinds returns every message kind with recorded traffic, in
-// ascending order — the deterministic iteration order for per-kind
-// reporting.
+// Kinds returns every message kind with recorded traffic in either
+// direction, in ascending order — the deterministic iteration order
+// for per-kind reporting.
 func (s *Stats) Kinds() []Kind {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	seen := make(map[Kind]bool, len(s.msgsByKind))
 	out := make([]Kind, 0, len(s.msgsByKind))
 	for k := range s.msgsByKind {
+		seen[k] = true
 		out = append(out, k)
+	}
+	for k := range s.recvMsgsByKind {
+		if !seen[k] {
+			out = append(out, k)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
@@ -288,6 +363,7 @@ func (m *Memory) Recv(ctx context.Context, node string) (Message, error) {
 	}
 	select {
 	case msg := <-ch:
+		m.stats.recordRecv(msg)
 		return msg, nil
 	case <-ctx.Done():
 		return Message{}, fmt.Errorf("transport: recv %q: %w", node, ctx.Err())

@@ -1,0 +1,127 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// DeltaLayer is the wire record for one layer of a delta-encoded
+// importance upload: the round-t payload expressed against the round
+// t−1 payload both endpoints already hold. The layer is a packed
+// fixed-width element array (Elem bytes per element: 4 for float32,
+// 2 for float16, 1 for int8), so one record type serves every
+// quantization mode.
+//
+// Sparse form (Dense=false): Mask is a bit-per-element changed-index
+// bitmask (bit i of Mask[i/8] set ⇔ element i differs from round t−1)
+// and Changed holds the new packed elements at the set positions, in
+// ascending index order. Dense form (Dense=true): Changed carries all
+// N elements and Mask is empty — the fallback when no previous round
+// exists or when the sparse encoding would not be smaller.
+//
+// Elements are compared and replaced bitwise, never arithmetically, so
+// Apply reconstructs the round-t payload exactly: a delta-encoded
+// exchange is bit-for-bit identical to shipping the dense payload.
+type DeltaLayer struct {
+	N       int    // element count of the layer
+	Elem    int    // bytes per packed element
+	Dense   bool   // true: Changed carries the full payload
+	Mask    []byte // changed-index bitmask, ceil(N/8) bytes (sparse only)
+	Changed []byte // packed changed elements (or all N, when Dense)
+}
+
+// DiffLayer encodes cur against prev, both packed element arrays of
+// the same element width. It returns the sparse form when that is
+// strictly smaller than shipping cur densely, and the dense form
+// otherwise. len(prev) != len(cur) (a shape change between rounds)
+// also forces the dense form. Trailing bytes beyond the last whole
+// element are dropped, keeping the record consistent with its own
+// Apply; callers are expected to pass exact multiples of elem.
+func DiffLayer(prev, cur []byte, elem int) DeltaLayer {
+	if elem <= 0 {
+		elem = 1
+	}
+	n := len(cur) / elem
+	cur = cur[:n*elem]
+	d := DeltaLayer{N: n, Elem: elem}
+	if len(prev) != len(cur) {
+		d.Dense = true
+		d.Changed = append([]byte(nil), cur...)
+		return d
+	}
+	changed := 0
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(prev[i*elem:(i+1)*elem], cur[i*elem:(i+1)*elem]) {
+			changed++
+		}
+	}
+	maskLen := (n + 7) / 8
+	if maskLen+changed*elem >= n*elem {
+		d.Dense = true
+		d.Changed = append([]byte(nil), cur...)
+		return d
+	}
+	d.Mask = make([]byte, maskLen)
+	d.Changed = make([]byte, 0, changed*elem)
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(prev[i*elem:(i+1)*elem], cur[i*elem:(i+1)*elem]) {
+			d.Mask[i/8] |= 1 << (i % 8)
+			d.Changed = append(d.Changed, cur[i*elem:(i+1)*elem]...)
+		}
+	}
+	return d
+}
+
+// Apply reconstructs the round-t packed payload from the round t−1
+// payload. Every field is wire-controlled, so shapes are validated
+// before any indexing: a corrupt bitmask or truncated element block
+// surfaces as an error, never a panic or a silently wrong payload.
+func (d *DeltaLayer) Apply(prev []byte) ([]byte, error) {
+	if d.N < 0 || d.Elem <= 0 || d.N > math.MaxInt/d.Elem {
+		return nil, fmt.Errorf("wire: delta layer with %d elements of %d bytes", d.N, d.Elem)
+	}
+	size := d.N * d.Elem
+	if d.Dense {
+		if len(d.Changed) != size {
+			return nil, fmt.Errorf("wire: dense delta carries %d bytes, want %d", len(d.Changed), size)
+		}
+		return append([]byte(nil), d.Changed...), nil
+	}
+	if len(prev) != size {
+		return nil, fmt.Errorf("wire: sparse delta against %d-byte shadow, want %d", len(prev), size)
+	}
+	if want := (d.N + 7) / 8; len(d.Mask) != want {
+		return nil, fmt.Errorf("wire: delta bitmask %d bytes for %d elements, want %d", len(d.Mask), d.N, want)
+	}
+	// Bits beyond N must be clear: a set spare bit means a corrupt or
+	// adversarial mask whose popcount no longer matches the payload.
+	if spare := d.N % 8; spare != 0 && d.Mask[len(d.Mask)-1]>>spare != 0 {
+		return nil, fmt.Errorf("wire: delta bitmask has bits set beyond element %d", d.N)
+	}
+	changed := 0
+	for _, b := range d.Mask {
+		changed += bits.OnesCount8(b)
+	}
+	if len(d.Changed) != changed*d.Elem {
+		return nil, fmt.Errorf("wire: delta carries %d bytes for %d changed elements of %d",
+			len(d.Changed), changed, d.Elem)
+	}
+	out := append([]byte(nil), prev...)
+	src := 0
+	for i := 0; i < d.N; i++ {
+		if d.Mask[i/8]&(1<<(i%8)) != 0 {
+			copy(out[i*d.Elem:(i+1)*d.Elem], d.Changed[src:src+d.Elem])
+			src += d.Elem
+		}
+	}
+	return out, nil
+}
+
+// WireSize returns the approximate encoded size of the record's
+// payload fields (mask plus packed elements), the quantity DiffLayer
+// minimizes when choosing between the sparse and dense forms.
+func (d *DeltaLayer) WireSize() int {
+	return len(d.Mask) + len(d.Changed)
+}

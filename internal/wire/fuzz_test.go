@@ -28,10 +28,33 @@ func FuzzDecode(f *testing.F) {
 		Layers   [][]float32
 		Packed   []byte
 	}
+	type deltaLayer struct {
+		Mode  int
+		Scale float64
+		Delta DeltaLayer
+	}
+	type deltaUpload struct {
+		DeviceID int
+		Round    int
+		Layers   []deltaLayer
+	}
 
+	sparseDelta := DiffLayer(
+		[]byte{1, 2, 3, 4, 5, 6, 7, 8},
+		[]byte{1, 2, 9, 9, 5, 6, 7, 8}, 2)
 	seedValues := []any{
 		assignment{W: 0.5, D: 2, Params: []blob{{Name: "w", Rows: 2, Cols: 2, Data: []float64{1, 2, 3, 4}}}, Masks: [][]bool{{true, false}}},
 		upload{DeviceID: 7, Layers: [][]float32{{0.1, 0.2}, {0.3}}, Packed: []byte{1, 2, 3}},
+		deltaUpload{DeviceID: 3, Round: 1, Layers: []deltaLayer{
+			{Mode: 2, Scale: 0.5, Delta: sparseDelta},
+			{Mode: 0, Delta: DeltaLayer{N: 2, Elem: 4, Dense: true, Changed: []byte{1, 2, 3, 4, 5, 6, 7, 8}}},
+		}},
+		// A delta record with a corrupt bitmask (spare bits set, wrong
+		// popcount) must decode into a struct that Apply later rejects —
+		// the decode itself stays panic-free.
+		deltaUpload{DeviceID: 4, Round: 2, Layers: []deltaLayer{
+			{Mode: 2, Delta: DeltaLayer{N: 3, Elem: 1, Mask: []byte{0xff}, Changed: []byte{1}}},
+		}},
 		[]float64{1, 2, 3},
 		map[string]int{"a": 1},
 	}
@@ -55,6 +78,7 @@ func FuzzDecode(f *testing.F) {
 	targets := []func() any{
 		func() any { return &assignment{} },
 		func() any { return &upload{} },
+		func() any { return &deltaUpload{} },
 		func() any { return new([]float64) },
 		func() any { return new(map[string]int) },
 		func() any { return new(string) },
