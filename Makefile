@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json fuzz fmt fmt-check vet ci
+.PHONY: all build test race bench bench-json bench-json3 bench-compare fuzz fmt fmt-check vet ci
 
 all: build test
 
@@ -13,16 +13,27 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/transport/... ./internal/wire/... ./internal/tensor/... ./internal/aggregate/...
+	$(GO) test -race ./internal/core/... ./internal/transport/... ./internal/wire/... ./internal/tensor/... ./internal/aggregate/... ./internal/importance/...
 
 bench:
-	$(GO) test -run='^$$' -bench=. -benchtime=1x ./internal/tensor ./internal/wire ./internal/core ./internal/aggregate
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./internal/tensor ./internal/wire ./internal/core ./internal/aggregate ./internal/importance
 
-# bench-json regenerates BENCH_3.json: the Phase 2-2 importance
-# exchange trajectory (upload bytes and edge aggregation latency by
-# round) for dense/delta × lossless/mixed on the default scenario.
+# bench-json regenerates BENCH_4.json: the symmetric Phase 2-2
+# exchange trajectory — importance uplink + personalized-set downlink
+# bytes (memory and loopback-TCP transports) and the incremental
+# device-compute cut — for dense/delta × lossless/mixed on the default
+# scenario.
 bench-json:
+	$(GO) run ./cmd/acmebench -exp bench4 -bench4json BENCH_4.json
+
+# bench-json3 regenerates the PR 3 trajectory (uplink only).
+bench-json3:
 	$(GO) run ./cmd/acmebench -exp bench3 -benchjson BENCH_3.json
+
+# bench-compare diffs the two newest checked-in BENCH_*.json files and
+# fails on any >10% wire-byte regression.
+bench-compare:
+	$(GO) run ./cmd/benchcmp
 
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=20s ./internal/wire
@@ -39,4 +50,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: fmt-check vet build test race bench
+ci: fmt-check vet build test race bench bench-compare

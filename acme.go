@@ -79,9 +79,14 @@ const (
 func ParseQuantMode(s string) (QuantMode, error) { return core.ParseQuantMode(s) }
 
 // Phase2RoundStat traces one edge round of the Phase 2-2 importance
-// loop (Result.Phase2Rounds): received upload bytes, dense vs delta
-// message counts, and aggregation busy time.
+// loop (Result.Phase2Rounds): uplink and downlink bytes, dense vs
+// delta message counts in both directions, and edge busy time.
 type Phase2RoundStat = core.Phase2RoundStat
+
+// DeviceRoundStat traces one device round of the loop
+// (Result.DeviceRounds): critical-path importance compute vs batches
+// folded while the upload was in flight.
+type DeviceRoundStat = core.DeviceRoundStat
 
 // MessageKind tags the protocol message types (see Result.Stats
 // per-kind accounting).

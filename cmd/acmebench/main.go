@@ -33,8 +33,10 @@ func run() error {
 	parallel := flag.Int("parallel", 0, "tensor-kernel goroutines (0 = GOMAXPROCS)")
 	wireName := flag.String("wire", "binary", "wire format for measured runs: binary, gob")
 	quant := flag.String("quant", "lossless", "payload quantization for measured runs: lossless, float16, int8, mixed")
-	delta := flag.Bool("delta", false, "delta-encode importance uploads in measured runs")
+	delta := flag.Bool("delta", false, "delta-encode importance payloads (both directions) in measured runs")
+	refresh := flag.Int("refresh", 0, "device importance full-refresh period in measured runs (≤1 = full recompute every round)")
 	benchJSON := flag.String("benchjson", "BENCH_3.json", "output path for the bench3 trajectory JSON (bench3 pins its own dense/delta × lossless/mixed variants; -wire/-quant/-delta do not apply to it)")
+	bench4JSON := flag.String("bench4json", "BENCH_4.json", "output path for the bench4 symmetric-exchange JSON (bench4 pins its own memory/TCP × dense/delta variants)")
 	flag.Parse()
 	tensor.SetParallelism(*parallel)
 	qm, err := core.ParseQuantMode(*quant)
@@ -44,7 +46,7 @@ func run() error {
 	if _, err := transport.CodecByName(*wireName); err != nil {
 		return err
 	}
-	experiments.SetWireOptions(*wireName, qm, *delta)
+	experiments.SetWireOptions(*wireName, qm, *delta, *refresh)
 
 	type runner struct {
 		id string
@@ -71,11 +73,13 @@ func run() error {
 		{"ablation-controller", experiments.AblationController},
 		{"ablation-rounds", experiments.AblationLoopRounds},
 		{"bench3", func() (*experiments.Table, error) { return experiments.Bench3JSON(*benchJSON) }},
+		{"bench4", func() (*experiments.Table, error) { return experiments.Bench4JSON(*bench4JSON) }},
 	}
-	// bench3 rewrites the checked-in BENCH_3.json and adds four full
-	// system runs, so it never rides along with -exp all — it only
-	// runs when named explicitly (as make bench-json does).
-	explicitOnly := map[string]bool{"bench3": true}
+	// bench3/bench4 rewrite the checked-in BENCH_N.json files and add
+	// several full system runs each, so they never ride along with
+	// -exp all — they only run when named explicitly (as make
+	// bench-json does).
+	explicitOnly := map[string]bool{"bench3": true, "bench4": true}
 
 	want := map[string]bool{}
 	all := *exp == "all"

@@ -42,7 +42,8 @@ func run() error {
 	timeout := flag.Duration("timeout", 10*time.Minute, "run timeout")
 	wireName := flag.String("wire", "binary", "wire format: binary, gob (identical across processes)")
 	quant := flag.String("quant", "lossless", "payload quantization: lossless, float16, int8, mixed (identical across processes)")
-	delta := flag.Bool("delta", false, "delta-encode successive importance uploads (identical across processes)")
+	delta := flag.Bool("delta", false, "delta-encode successive importance payloads in both directions (identical across processes)")
+	refresh := flag.Int("refresh", 0, "device importance full-refresh period (identical across processes)")
 	flag.Parse()
 
 	if *role == "" || *listen == "" || *peers == "" {
@@ -69,6 +70,7 @@ func run() error {
 	}
 	cfg.Quantization = qm
 	cfg.DeltaImportance = *delta
+	cfg.ImportanceRefreshPeriod = *refresh
 
 	net, err := transport.NewTCP(*role, *listen, peerMap)
 	if err != nil {
@@ -105,6 +107,14 @@ func run() error {
 	recvByKind := st.ReceivedBytesByKind()
 	for _, k := range st.Kinds() {
 		fmt.Printf("acmenode: %s   %-16s sent %9d B  recv %9d B\n", *role, k, sentByKind[k], recvByKind[k])
+	}
+	// Direction summary of the Phase 2-2 importance exchange: the
+	// device→edge uplink against the symmetric edge→device downlink.
+	upSent, upRecv := st.BytesForKinds(transport.KindImportanceSet, transport.KindImportanceDelta)
+	downSent, downRecv := st.BytesForKinds(transport.KindPersonalizedSet, transport.KindImportanceDownDelta)
+	if upSent+upRecv+downSent+downRecv > 0 {
+		fmt.Printf("acmenode: %s importance exchange: uplink sent %d B / recv %d B, downlink sent %d B / recv %d B\n",
+			*role, upSent, upRecv, downSent, downRecv)
 	}
 	fmt.Printf("acmenode: role %s done\n", *role)
 	return nil

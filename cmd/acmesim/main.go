@@ -37,7 +37,8 @@ func run() error {
 	parallel := flag.Int("parallel", 0, "tensor-kernel goroutines (0 = GOMAXPROCS)")
 	wireName := flag.String("wire", "binary", "wire format: binary, gob")
 	quant := flag.String("quant", "lossless", "payload quantization: lossless, float16, int8, mixed")
-	delta := flag.Bool("delta", false, "delta-encode successive importance uploads (round t vs t−1)")
+	delta := flag.Bool("delta", false, "delta-encode successive importance payloads in both directions (round t vs t−1)")
+	refresh := flag.Int("refresh", 0, "device importance full-refresh period (≤1 = full recompute every round; >1 folds only new batches in between, overlapped with the upload)")
 	flag.Parse()
 
 	cfg := acme.DefaultConfig()
@@ -66,6 +67,7 @@ func run() error {
 	}
 	cfg.Quantization = qm
 	cfg.DeltaImportance = *delta
+	cfg.ImportanceRefreshPeriod = *refresh
 
 	switch *level {
 	case "IID":
@@ -129,6 +131,21 @@ func run() error {
 	fmt.Printf("uplink: ACME %d bytes vs centralized %d bytes (%.1f%%)\n",
 		res.UploadBytes, res.CentralizedUploadBytes,
 		100*float64(res.UploadBytes)/float64(res.CentralizedUploadBytes))
+	if res.DownlinkBytes > 0 {
+		// The symmetric counterpart of the downlink is the importance
+		// uplink alone (what the edges received in the loop), not the
+		// whole UploadBytes figure with stats and shard traffic in it.
+		var importanceUp int64
+		for _, rs := range res.Phase2Rounds {
+			importanceUp += rs.UploadBytes
+		}
+		if importanceUp > 0 {
+			fmt.Printf("downlink: %d personalized-set bytes (edge→device/device→edge importance ratio %.2f)\n",
+				res.DownlinkBytes, float64(res.DownlinkBytes)/float64(importanceUp))
+		} else {
+			fmt.Printf("downlink: %d personalized-set bytes\n", res.DownlinkBytes)
+		}
+	}
 	fmt.Printf("search space: ACME %.3g vs centralized %.3g architectures\n",
 		res.SearchSpaceOurs, res.SearchSpaceCS)
 
@@ -153,10 +170,25 @@ func run() error {
 	if len(res.Phase2Rounds) > 0 {
 		fmt.Println("\nphase 2-2 importance loop (per edge round):")
 		for _, rs := range res.Phase2Rounds {
-			fmt.Printf("  edge-%d round %d: %7d upload bytes (%d dense + %d delta msgs), aggregate %.2fms\n",
+			fmt.Printf("  edge-%d round %d: up %7d B (%d dense + %d delta msgs), down %7d B (%d dense + %d delta msgs), aggregate %.2fms, downlink %.2fms\n",
 				rs.EdgeID, rs.Round, rs.UploadBytes, rs.DenseMessages, rs.DeltaMessages,
-				float64(rs.AggregateNS)/1e6)
+				rs.DownlinkBytes, rs.DownDenseMessages, rs.DownDeltaMessages,
+				float64(rs.AggregateNS)/1e6, float64(rs.DownlinkNS)/1e6)
 		}
+	}
+
+	if len(res.DeviceRounds) > 0 {
+		var critNS, preNS int64
+		var critBatches, preBatches int
+		for _, dr := range res.DeviceRounds {
+			critNS += dr.ImportanceNS
+			preNS += dr.PrefoldNS
+			critBatches += dr.Batches
+			preBatches += dr.PrefoldBatches
+		}
+		n := float64(len(res.DeviceRounds))
+		fmt.Printf("\ndevice importance compute: %.2fms/round critical path (%d batches), %.2fms/round overlapped with uploads (%d batches)\n",
+			float64(critNS)/1e6/n, critBatches, float64(preNS)/1e6/n, preBatches)
 	}
 	return nil
 }

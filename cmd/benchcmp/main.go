@@ -1,0 +1,186 @@
+// Command benchcmp diffs the two most recent BENCH_<N>.json trajectory
+// files and fails (exit 1) when any wire-byte metric regressed more
+// than 10% for a config present in both — the guard behind
+// `make bench-compare`.
+//
+// The BENCH files evolve schema per PR, so the comparison is
+// structural: every document is expected to carry a top-level
+// "configs" array whose entries have a "name" and numeric metrics;
+// metrics whose key ends in "_bytes_total" are treated as
+// smaller-is-better wire volumes and compared across files for configs
+// sharing a name. Metrics or configs present in only one file are
+// reported but do not fail the run.
+//
+//	benchcmp            # compare the two newest BENCH_*.json in .
+//	benchcmp A.json B.json  # compare A (older) against B (newer)
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+const (
+	regressionLimit = 1.10 // fail when newer > older × this
+	regressionPct   = 10   // regressionLimit as a percentage, for messages
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(1)
+	}
+}
+
+var benchName = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// latestPair finds the two highest-numbered BENCH_<N>.json files in dir.
+func latestPair(dir string) (older, newer string, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", "", err
+	}
+	type bench struct {
+		n    int
+		name string
+	}
+	var found []bench
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		m := benchName.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		n, err := strconv.Atoi(m[1])
+		if err != nil {
+			continue
+		}
+		found = append(found, bench{n: n, name: filepath.Join(dir, e.Name())})
+	}
+	if len(found) < 2 {
+		return "", "", fmt.Errorf("need at least two BENCH_<N>.json files in %s, found %d", dir, len(found))
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].n < found[j].n })
+	return found[len(found)-2].name, found[len(found)-1].name, nil
+}
+
+// wireMetrics extracts config-name → metric-key → value for every
+// numeric "*_bytes_total" metric in the document's configs array.
+func wireMetrics(path string) (map[string]map[string]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	configs, ok := doc["configs"].([]any)
+	if !ok {
+		return nil, fmt.Errorf("%s: no configs array", path)
+	}
+	out := make(map[string]map[string]float64, len(configs))
+	for _, c := range configs {
+		obj, ok := c.(map[string]any)
+		if !ok {
+			continue
+		}
+		name, ok := obj["name"].(string)
+		if !ok {
+			continue
+		}
+		metrics := make(map[string]float64)
+		for k, v := range obj {
+			if !strings.HasSuffix(k, "_bytes_total") {
+				continue
+			}
+			if f, ok := v.(float64); ok {
+				metrics[k] = f
+			}
+		}
+		if len(metrics) > 0 {
+			out[name] = metrics
+		}
+	}
+	return out, nil
+}
+
+func run(args []string) error {
+	var older, newer string
+	switch len(args) {
+	case 0:
+		var err error
+		if older, newer, err = latestPair("."); err != nil {
+			return err
+		}
+	case 2:
+		older, newer = args[0], args[1]
+	default:
+		return fmt.Errorf("usage: benchcmp [older.json newer.json]")
+	}
+
+	prev, err := wireMetrics(older)
+	if err != nil {
+		return err
+	}
+	cur, err := wireMetrics(newer)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("benchcmp: %s → %s (fail on >%d%% wire-byte regression)\n",
+		older, newer, regressionPct)
+
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	compared, regressions := 0, 0
+	for _, name := range names {
+		prevMetrics, ok := prev[name]
+		if !ok {
+			fmt.Printf("  %-28s new config, no baseline\n", name)
+			continue
+		}
+		keys := make([]string, 0, len(cur[name]))
+		for k := range cur[name] {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			was, ok := prevMetrics[k]
+			if !ok {
+				fmt.Printf("  %-28s %s: new metric, no baseline\n", name, k)
+				continue
+			}
+			now := cur[name][k]
+			compared++
+			status := "ok"
+			if was > 0 && now > was*regressionLimit {
+				status = "REGRESSION"
+				regressions++
+			}
+			fmt.Printf("  %-28s %-28s %12.0f → %12.0f (%+.1f%%) %s\n",
+				name, k, was, now, 100*(now-was)/was, status)
+		}
+	}
+	if compared == 0 {
+		fmt.Println("  no overlapping configs/metrics; nothing to compare")
+		return nil
+	}
+	if regressions > 0 {
+		return fmt.Errorf("%d wire-byte metric(s) regressed more than %d%%",
+			regressions, regressionPct)
+	}
+	fmt.Printf("benchcmp: %d metric(s) compared, no regression\n", compared)
+	return nil
+}

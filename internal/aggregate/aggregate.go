@@ -181,30 +181,55 @@ func (c *Combiner) Result(prev []*importance.Set) ([]*importance.Set, float64, e
 // rounds' aggregated importance sets (the §II-A convergence monitor).
 // Empty inputs, length mismatches, nil sets, and per-layer shape
 // mismatches all report +Inf — a malformed comparison never counts as
-// converged.
+// converged. The per-set contributions are independent, so they are
+// computed on the tensor worker pool and reduced in ascending set
+// order — the edge's finalize barrier shrinks on wide clusters while
+// the result stays bitwise identical to the serial pass.
 func SetsDelta(prev, cur []*importance.Set) float64 {
 	if len(prev) == 0 || len(cur) == 0 || len(prev) != len(cur) {
 		return math.Inf(1)
 	}
+	type contrib struct {
+		ratio     float64
+		counted   bool
+		malformed bool
+	}
+	parts := make([]contrib, len(cur))
+	tensor.ParallelFor(len(cur), func(i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			if prev[i] == nil || cur[i] == nil || len(prev[i].Layers) != len(cur[i].Layers) {
+				parts[i].malformed = true
+				continue
+			}
+			var num, den float64
+			for l := range cur[i].Layers {
+				if len(prev[i].Layers[l]) != len(cur[i].Layers[l]) {
+					parts[i].malformed = true
+					break
+				}
+				for j := range cur[i].Layers[l] {
+					d := cur[i].Layers[l][j] - prev[i].Layers[l][j]
+					num += d * d
+					den += prev[i].Layers[l][j] * prev[i].Layers[l][j]
+				}
+			}
+			if parts[i].malformed {
+				continue
+			}
+			if den > 0 {
+				parts[i].ratio = math.Sqrt(num / den)
+				parts[i].counted = true
+			}
+		}
+	})
 	var total float64
 	var n int
-	for i := range cur {
-		if prev[i] == nil || cur[i] == nil || len(prev[i].Layers) != len(cur[i].Layers) {
+	for i := range parts {
+		if parts[i].malformed {
 			return math.Inf(1)
 		}
-		var num, den float64
-		for l := range cur[i].Layers {
-			if len(prev[i].Layers[l]) != len(cur[i].Layers[l]) {
-				return math.Inf(1)
-			}
-			for j := range cur[i].Layers[l] {
-				d := cur[i].Layers[l][j] - prev[i].Layers[l][j]
-				num += d * d
-				den += prev[i].Layers[l][j] * prev[i].Layers[l][j]
-			}
-		}
-		if den > 0 {
-			total += math.Sqrt(num / den)
+		if parts[i].counted {
+			total += parts[i].ratio
 			n++
 		}
 	}

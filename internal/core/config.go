@@ -68,15 +68,33 @@ type Config struct {
 	// it (§II-A: "repeated iteratively until convergence"). 0 keeps the
 	// fixed-T behaviour.
 	ConvergenceEpsilon float64
-	// DeltaImportance makes devices upload round-t importance sets as
-	// sparse deltas against round t−1 (KindImportanceDelta): a
-	// per-layer changed-index bitmask plus the packed values at changed
-	// positions, with a dense per-layer fallback when the delta would
-	// not be smaller. Reconstruction is bitwise-exact, so seeded
-	// Results are identical with the flag on or off; only the measured
-	// traffic changes. Ignored when TopKFraction sparsification is
-	// active (the legacy top-k payload already is a sparse form).
+	// DeltaImportance makes the Phase 2-2 exchange symmetric and
+	// sparse: devices upload round-t importance sets as deltas against
+	// round t−1 (KindImportanceDelta), and the edge sends each device's
+	// personalized set as a delta against its previous downlink
+	// (KindImportanceDownDelta). Both directions carry a per-layer
+	// changed-index bitmask plus the packed values at changed positions,
+	// with a dense per-layer fallback when the delta would not be
+	// smaller. Reconstruction is bitwise-exact, so seeded Results are
+	// identical with the flag on or off; only the measured traffic
+	// changes. The uplink half is ignored when TopKFraction
+	// sparsification is active (the legacy top-k payload already is a
+	// sparse form); the downlink half applies regardless.
 	DeltaImportance bool
+	// ImportanceRefreshPeriod makes device-side importance incremental:
+	// instead of recomputing the full importance set from scratch every
+	// round, a device keeps its running batch accumulator and folds only
+	// IncrementalBatches newly drawn minibatches per round, with a full
+	// refresh (reset + complete recompute) every this-many rounds to
+	// bound drift. ≤1 refreshes every round — bitwise identical to the
+	// legacy full recompute. Incremental rounds also overlap compute
+	// with communication: the new batches are folded while the round's
+	// upload is in flight instead of on the next round's critical path.
+	ImportanceRefreshPeriod int
+	// IncrementalBatches is how many new minibatches an incremental
+	// round folds into the running accumulator (0 = default 2; full
+	// refresh rounds always fold the complete budget).
+	IncrementalBatches int
 	// TopKFraction sparsifies device importance uploads to the top
 	// fraction of entries by magnitude (0 or ≥1 sends dense sets). Low-
 	// importance entries only matter near the discard threshold, so
@@ -218,6 +236,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: shared fraction %v outside [0,1]", c.SharedFraction)
 	case c.Phase2Rounds < 0:
 		return fmt.Errorf("core: negative phase-2 rounds")
+	case c.ImportanceRefreshPeriod < 0:
+		return fmt.Errorf("core: negative importance refresh period %d", c.ImportanceRefreshPeriod)
+	case c.IncrementalBatches < 0:
+		return fmt.Errorf("core: negative incremental batch count %d", c.IncrementalBatches)
 	case c.Parallelism < 0:
 		return fmt.Errorf("core: negative parallelism %d", c.Parallelism)
 	case !c.Quantization.Valid():

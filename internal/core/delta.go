@@ -107,23 +107,37 @@ type DeltaUpload struct {
 	Layers   []DeltaLayerPayload
 }
 
-// deltaEncoder is the device side of the exchange: it keeps the packed
-// form of the last upload the edge has (the loop is synchronous, so
-// last-sent is last-acked) and emits each round as deltas against it.
+// DownlinkDelta is the symmetric edge → device record
+// (KindImportanceDownDelta): the round-Round personalized set Q'n
+// encoded against the round Round−1 downlink, with the same per-layer
+// dense fallback as the uplink. Discard and Done travel alongside,
+// exactly as they do on the dense PersonalizedSet.
+type DownlinkDelta struct {
+	Round   int
+	Discard int
+	Done    bool
+	Layers  []DeltaLayerPayload
+}
+
+// deltaEncoder is the sending side of a delta exchange — a device's
+// importance uplink or the edge's per-device personalized-set downlink.
+// It keeps the packed form of the last payload the peer has (both loops
+// are synchronous, so last-sent is last-acked) and emits each round as
+// deltas against it.
 type deltaEncoder struct {
 	mode QuantMode
 	prev []packedLayer
 }
 
-// encode packs layers under the encoder's mode and expresses each
+// encodeLayers packs layers under the encoder's mode and expresses each
 // layer as a delta against the previous round where that is valid and
 // smaller.
-func (e *deltaEncoder) encode(deviceID, round int, layers [][]float64) (DeltaUpload, error) {
+func (e *deltaEncoder) encodeLayers(layers [][]float64) ([]DeltaLayerPayload, error) {
 	cur, err := packLayers(layers, e.mode)
 	if err != nil {
-		return DeltaUpload{}, err
+		return nil, err
 	}
-	up := DeltaUpload{DeviceID: deviceID, Round: round, Layers: make([]DeltaLayerPayload, len(cur))}
+	out := make([]DeltaLayerPayload, len(cur))
 	for i, c := range cur {
 		es := elemSize(c.mode)
 		pl := DeltaLayerPayload{Mode: c.mode, Scale: c.scale}
@@ -136,31 +150,47 @@ func (e *deltaEncoder) encode(deviceID, round int, layers [][]float64) (DeltaUpl
 		} else {
 			pl.Delta = wire.DeltaLayer{N: len(c.data) / es, Elem: es, Dense: true, Changed: c.data}
 		}
-		up.Layers[i] = pl
+		out[i] = pl
 	}
 	e.prev = cur
-	return up, nil
+	return out, nil
 }
 
-// deltaDecoder is the edge side: the per-device shadow copy of the
-// last reconstructed packed upload.
+// encode wraps encodeLayers in the uplink record.
+func (e *deltaEncoder) encode(deviceID, round int, layers [][]float64) (DeltaUpload, error) {
+	pls, err := e.encodeLayers(layers)
+	if err != nil {
+		return DeltaUpload{}, err
+	}
+	return DeltaUpload{DeviceID: deviceID, Round: round, Layers: pls}, nil
+}
+
+// deltaDecoder is the receiving side: the shadow copy of the last
+// reconstructed packed payload (per device on the edge, per downlink on
+// the device).
 type deltaDecoder struct {
 	prev []packedLayer
 }
 
-// apply reconstructs the dense float64 layers of up against the shadow
-// and advances the shadow to round Round. Every field of up is
+// apply reconstructs the dense float64 layers of an uplink record
+// against the shadow.
+func (d *deltaDecoder) apply(up DeltaUpload) ([][]float64, error) {
+	return d.applyLayers(up.Layers)
+}
+
+// applyLayers reconstructs the dense float64 layers of pls against the
+// shadow and advances the shadow one round. Every field is
 // wire-controlled; shape, mode, and scale are validated before any
 // allocation or indexing derived from them.
-func (d *deltaDecoder) apply(up DeltaUpload) ([][]float64, error) {
-	if d.prev != nil && len(d.prev) != len(up.Layers) {
-		return nil, fmt.Errorf("core: delta upload has %d layers, shadow has %d", len(up.Layers), len(d.prev))
+func (d *deltaDecoder) applyLayers(pls []DeltaLayerPayload) ([][]float64, error) {
+	if d.prev != nil && len(d.prev) != len(pls) {
+		return nil, fmt.Errorf("core: delta payload has %d layers, shadow has %d", len(pls), len(d.prev))
 	}
 	if d.prev == nil {
-		d.prev = make([]packedLayer, len(up.Layers))
+		d.prev = make([]packedLayer, len(pls))
 	}
-	out := make([][]float64, len(up.Layers))
-	for i, pl := range up.Layers {
+	out := make([][]float64, len(pls))
+	for i, pl := range pls {
 		if !pl.Mode.Valid() || pl.Mode == QuantMixed {
 			return nil, fmt.Errorf("core: delta layer %d carries non-concrete mode %v", i, pl.Mode)
 		}

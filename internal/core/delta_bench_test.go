@@ -34,6 +34,83 @@ func benchPerturb(rng *rand.Rand, layers [][]float64) {
 	}
 }
 
+// BenchmarkDownlinkRound measures the symmetric edge→device exchange
+// of one personalized set over a 4-round loop: payload build, binary
+// wire encode, decode, and dense reconstruction on the device,
+// reporting the average wire bytes per round. Dense is the legacy
+// PersonalizedSet path; DeltaMixed is the headline DownlinkDelta
+// combination.
+func BenchmarkDownlinkRound(b *testing.B) {
+	cases := []struct {
+		name  string
+		mode  QuantMode
+		delta bool
+	}{
+		{"Dense", QuantLossless, false},
+		{"Delta", QuantLossless, true},
+		{"Mixed", QuantMixed, false},
+		{"DeltaMixed", QuantMixed, true},
+	}
+	const rounds = 4
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var bytesPerRound int64
+			for i := 0; i < b.N; i++ {
+				rng := rand.New(rand.NewSource(43))
+				layers := benchImportanceLayers(rng)
+				enc := &deltaEncoder{mode: c.mode}
+				var dec deltaDecoder
+				var total int64
+				for t := 0; t < rounds; t++ {
+					var payload []byte
+					var err error
+					if c.delta {
+						pls, e := enc.encodeLayers(layers)
+						if e != nil {
+							b.Fatal(e)
+						}
+						dd := DownlinkDelta{Round: t, Discard: 4 * (t + 1), Done: t == rounds-1, Layers: pls}
+						if payload, err = transport.Binary.Encode(dd); err != nil {
+							b.Fatal(err)
+						}
+						var got DownlinkDelta
+						if err := transport.Binary.Decode(payload, &got); err != nil {
+							b.Fatal(err)
+						}
+						if _, err := dec.applyLayers(got.Layers); err != nil {
+							b.Fatal(err)
+						}
+					} else {
+						ps := PersonalizedSet{Discard: 4 * (t + 1), Done: t == rounds-1}
+						if c.mode == QuantLossless {
+							ps.Layers = quantizeSet(layers)
+						} else {
+							if ps.Quant, err = quantizeLayers(layers, c.mode); err != nil {
+								b.Fatal(err)
+							}
+						}
+						if payload, err = transport.Binary.Encode(ps); err != nil {
+							b.Fatal(err)
+						}
+						var got PersonalizedSet
+						if err := transport.Binary.Decode(payload, &got); err != nil {
+							b.Fatal(err)
+						}
+						if _, err := got.layers(); err != nil {
+							b.Fatal(err)
+						}
+					}
+					total += int64(len(payload))
+					benchPerturb(rng, layers)
+				}
+				bytesPerRound = total / rounds
+			}
+			b.ReportMetric(float64(bytesPerRound), "wire-bytes/round")
+		})
+	}
+}
+
 // BenchmarkImportanceRound measures the full device→edge exchange of
 // one importance set over a 4-round loop: payload build, binary wire
 // encode, decode, and dense reconstruction, reporting the average wire

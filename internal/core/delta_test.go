@@ -255,6 +255,10 @@ func TestDeltaSystemBitwiseEquivalence(t *testing.T) {
 		byKind := r.Stats.BytesByKind()
 		return byKind[transport.KindImportanceSet] + byKind[transport.KindImportanceDelta]
 	}
+	downlinkBytes := func(r *Result) int64 {
+		byKind := r.Stats.BytesByKind()
+		return byKind[transport.KindPersonalizedSet] + byKind[transport.KindImportanceDownDelta]
+	}
 
 	denseLossless := runCfg(t, variant(QuantLossless, false))
 	deltaLossless := runCfg(t, variant(QuantLossless, true))
@@ -289,18 +293,40 @@ func TestDeltaSystemBitwiseEquivalence(t *testing.T) {
 			importanceBytes(deltaMixed), importanceBytes(denseMixed))
 	}
 
-	// Delta uploads travel under their own kind.
-	if n := deltaMixed.Stats.MessagesByKind()[transport.KindImportanceDelta]; n == 0 {
+	// Delta uploads and downlinks travel under their own kinds; the
+	// symmetric exchange sends no dense message in either direction.
+	msgs := deltaMixed.Stats.MessagesByKind()
+	if msgs[transport.KindImportanceDelta] == 0 {
 		t.Fatal("delta run sent no KindImportanceDelta messages")
 	}
-	if n := deltaMixed.Stats.MessagesByKind()[transport.KindImportanceSet]; n != 0 {
+	if n := msgs[transport.KindImportanceSet]; n != 0 {
 		t.Fatalf("delta run still sent %d dense importance messages", n)
 	}
+	if msgs[transport.KindImportanceDownDelta] == 0 {
+		t.Fatal("delta run sent no KindImportanceDownDelta messages")
+	}
+	if n := msgs[transport.KindPersonalizedSet]; n != 0 {
+		t.Fatalf("delta run still sent %d dense personalized-set messages", n)
+	}
+	if deltaMixed.DownlinkBytes != downlinkBytes(deltaMixed) {
+		t.Fatalf("Result.DownlinkBytes %d disagrees with per-kind counters %d",
+			deltaMixed.DownlinkBytes, downlinkBytes(deltaMixed))
+	}
 
-	// The headline acceptance: delta+mixed ≥3× below dense lossless.
+	// The headline acceptance: delta+mixed ≥3× below dense lossless on
+	// the uplink, ≥2.5× on the symmetric downlink.
 	dense, best := importanceBytes(denseLossless), importanceBytes(deltaMixed)
 	if 3*best > dense {
 		t.Fatalf("delta+mixed importance bytes %d vs dense lossless %d: want ≥3× reduction", best, dense)
+	}
+	downDense, downBest := downlinkBytes(denseLossless), downlinkBytes(deltaMixed)
+	if 5*downBest > 2*downDense {
+		t.Fatalf("delta+mixed downlink bytes %d vs dense lossless %d: want ≥2.5× reduction", downBest, downDense)
+	}
+	// The lossless downlink delta must not blow past the dense payload
+	// (record overhead stays within the same 5% envelope as the uplink).
+	if got, lim := downlinkBytes(deltaLossless), downDense*21/20; got > lim {
+		t.Fatalf("lossless downlink delta overhead too high: %d vs dense %d", got, downDense)
 	}
 	// Mixed quantization perturbs importance ranking only mildly.
 	if deltaMixed.MeanAccuracyFinal() < denseLossless.MeanAccuracyFinal()-0.15 {

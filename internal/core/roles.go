@@ -14,7 +14,17 @@ import (
 	"acme/internal/nn"
 	"acme/internal/pareto"
 	"acme/internal/prune"
+	"acme/internal/tensor"
 	"acme/internal/transport"
+)
+
+// fullImportanceBatches is the device's per-round minibatch budget for
+// a from-scratch importance recomputation (the legacy fixed budget).
+// defaultIncrementalBatches is how many new batches an incremental
+// round folds when Config.IncrementalBatches is unset.
+const (
+	fullImportanceBatches     = 8
+	defaultIncrementalBatches = 2
 )
 
 // runCloud is Phase 1: pretrain the reference model on the public
@@ -270,6 +280,16 @@ func (s *System) runEdge(ctx context.Context, edgeID int) error {
 		pos[s.devices[di].ID] = i
 	}
 	shadows := make([]deltaDecoder, len(order))
+	// Downlink delta encoders: one per device, persisted across rounds
+	// so each round's personalized set is encoded against the previous
+	// round's downlink (the shadow the device holds).
+	var downEncs []*deltaEncoder
+	if s.Cfg.DeltaImportance {
+		downEncs = make([]*deltaEncoder, len(order))
+		for i := range downEncs {
+			downEncs[i] = &deltaEncoder{mode: s.Cfg.Quantization}
+		}
+	}
 	var prev []*importance.Set
 	for t := 0; t < s.Cfg.Phase2Rounds; t++ {
 		comb, err := aggregate.NewCombiner(sim)
@@ -345,7 +365,6 @@ func (s *System) runEdge(ctx context.Context, edgeID int) error {
 			return err
 		}
 		rs.AggregateNS += time.Since(busy).Nanoseconds()
-		s.recordPhase2Round(rs)
 		// The loop ends at the round budget or on convergence of the
 		// aggregated sets (§II-A: "repeated iteratively until
 		// convergence"). The delta comes fused out of the combiner's
@@ -356,25 +375,123 @@ func (s *System) runEdge(ctx context.Context, edgeID int) error {
 		}
 		prev = combined
 		discard := s.Cfg.DiscardPerRound * (t + 1)
-		for i, di := range order {
-			ps := PersonalizedSet{Discard: discard, Done: done}
-			if s.Cfg.Quantization != QuantLossless {
-				ps.Quant, err = quantizeLayers(combined[i].Layers, s.Cfg.Quantization)
-				if err != nil {
-					return err
+		// Stream the downlinks: every accumulator is final once the last
+		// upload folds, so each device's personalized set is encoded
+		// (quantized, or delta-encoded against that device's previous
+		// downlink) on the worker pool and sent the moment its worker
+		// finishes — not behind a serial quantize-then-send loop. Each
+		// encoder is owned by exactly one worker, so the parallelism is
+		// bitwise-invisible.
+		busy = time.Now()
+		type downSent struct {
+			bytes int64
+			delta bool
+			err   error
+		}
+		sent := make([]downSent, len(order))
+		tensor.ParallelFor(len(order), func(i0, i1 int) {
+			for i := i0; i < i1; i++ {
+				var enc *deltaEncoder
+				if downEncs != nil {
+					enc = downEncs[i]
 				}
-			} else {
-				ps.Layers = quantizeSet(combined[i].Layers)
+				d := &sent[i]
+				d.bytes, d.delta, d.err = s.sendPersonalized(
+					name, s.devices[order[i]].Name(), enc, t, combined[i].Layers, discard, done)
 			}
-			if err := s.send(transport.KindPersonalizedSet, name, s.devices[di].Name(), ps); err != nil {
-				return err
+		})
+		for i, d := range sent {
+			if d.err != nil {
+				return fmt.Errorf("personalized set for device %d: %w", s.devices[order[i]].ID, d.err)
+			}
+			rs.DownlinkBytes += d.bytes
+			if d.delta {
+				rs.DownDeltaMessages++
+			} else {
+				rs.DownDenseMessages++
 			}
 		}
+		rs.DownlinkNS = time.Since(busy).Nanoseconds()
+		s.recordPhase2Round(rs)
 		if done {
 			break
 		}
 	}
 	return nil
+}
+
+// sendPersonalized encodes and sends one device's round-t personalized
+// set. With a non-nil delta encoder it travels as a DownlinkDelta
+// against the device's previous downlink (per-layer dense fallback
+// when no shadow exists or the delta would not be smaller); otherwise
+// as the legacy dense/quantized PersonalizedSet. It reports the wire
+// bytes sent and whether the delta form was used.
+func (s *System) sendPersonalized(from, to string, enc *deltaEncoder, round int, layers [][]float64, discard int, done bool) (int64, bool, error) {
+	if enc != nil {
+		pls, err := enc.encodeLayers(layers)
+		if err != nil {
+			return 0, false, err
+		}
+		dd := DownlinkDelta{Round: round, Discard: discard, Done: done, Layers: pls}
+		n, err := s.sendCounted(transport.KindImportanceDownDelta, from, to, dd)
+		return n, true, err
+	}
+	ps := PersonalizedSet{Discard: discard, Done: done}
+	var err error
+	if s.Cfg.Quantization != QuantLossless {
+		if ps.Quant, err = quantizeLayers(layers, s.Cfg.Quantization); err != nil {
+			return 0, false, err
+		}
+	} else {
+		ps.Layers = quantizeSet(layers)
+	}
+	n, err := s.sendCounted(transport.KindPersonalizedSet, from, to, ps)
+	return n, false, err
+}
+
+// decodePersonalized validates and decodes a round-t personalized-set
+// downlink on the device side, mirroring the edge's upload hardening:
+// a message from anyone but the device's own edge, a duplicate or
+// out-of-order delta round, or an unexpected kind is a protocol
+// violation named after the sender and kind. A dense downlink resets
+// the delta shadow; a delta downlink advances it.
+func (s *System) decodePersonalized(downDec *deltaDecoder, msg transport.Message, edge string, round int) ([][]float64, int, bool, error) {
+	if msg.From != edge {
+		return nil, 0, false, fmt.Errorf("%v from %s in round %d: personalized sets must come from %s",
+			msg.Kind, msg.From, round, edge)
+	}
+	switch msg.Kind {
+	case transport.KindPersonalizedSet:
+		var ps PersonalizedSet
+		if err := s.decode(msg.Payload, &ps); err != nil {
+			return nil, 0, false, fmt.Errorf("decode %v from %s in round %d: %w", msg.Kind, msg.From, round, err)
+		}
+		layers, err := ps.layers()
+		if err != nil {
+			return nil, 0, false, fmt.Errorf("%v from %s: %w", msg.Kind, msg.From, err)
+		}
+		// A dense downlink does not advance the delta shadow, so drop
+		// it: a later delta must fail ("no shadow round") rather than
+		// silently reconstruct against a stale round.
+		*downDec = deltaDecoder{}
+		return layers, ps.Discard, ps.Done, nil
+	case transport.KindImportanceDownDelta:
+		var dd DownlinkDelta
+		if err := s.decode(msg.Payload, &dd); err != nil {
+			return nil, 0, false, fmt.Errorf("decode %v from %s in round %d: %w", msg.Kind, msg.From, round, err)
+		}
+		if dd.Round != round {
+			return nil, 0, false, fmt.Errorf("%v from %s carries round %d during round %d (duplicate or out-of-order downlink)",
+				msg.Kind, msg.From, dd.Round, round)
+		}
+		layers, err := downDec.applyLayers(dd.Layers)
+		if err != nil {
+			return nil, 0, false, fmt.Errorf("%v from %s: %w", msg.Kind, msg.From, err)
+		}
+		return layers, dd.Discard, dd.Done, nil
+	default:
+		return nil, 0, false, fmt.Errorf("unexpected %v from %s during refinement round %d", msg.Kind, msg.From, round)
+	}
 }
 
 // posOf resolves a device ID to its cluster position, naming the
@@ -509,20 +626,55 @@ func (s *System) runDevice(ctx context.Context, edgeID, devIdx int) error {
 	}
 
 	// 4. Single-loop refinement (Algorithm 2, device side). The edge
-	// signals the final round via PersonalizedSet.Done (round budget or
-	// convergence). With DeltaImportance on, uploads after round 0
-	// travel as sparse deltas against the previous round's payload;
-	// top-k sparsification keeps its legacy payload (already sparse).
+	// signals the final round via Done (round budget or convergence).
+	// With DeltaImportance on, uploads after round 0 travel as sparse
+	// deltas against the previous round's payload and the personalized
+	// set comes back as a delta against the previous downlink; top-k
+	// sparsification keeps its legacy uplink payload (already sparse).
+	// With ImportanceRefreshPeriod > 1, importance is incremental: only
+	// IncrementalBatches new minibatches are folded into the running
+	// accumulator per round — speculatively, while the previous upload
+	// is in flight and the edge aggregates the cluster — with a full
+	// recompute every refresh-period rounds to bound the drift from
+	// folding batches against slightly stale parameters.
 	topK := s.Cfg.TopKFraction > 0 && s.Cfg.TopKFraction < 1
 	var enc *deltaEncoder
 	if s.Cfg.DeltaImportance && !topK {
 		enc = &deltaEncoder{mode: s.Cfg.Quantization}
 	}
+	var downDec deltaDecoder
+	refresh := s.Cfg.ImportanceRefreshPeriod
+	incremental := refresh > 1
+	incBatches := s.Cfg.IncrementalBatches
+	if incBatches <= 0 {
+		incBatches = defaultIncrementalBatches
+	}
+	acc := importance.NewAccumulator()
+	prefolded := 0
 	for t := 0; t < s.Cfg.Phase2Rounds; t++ {
-		set, err := nas.ComputeImportanceSet(header, local, s.Cfg.LocalBatch, 8, rng)
+		drs := DeviceRoundStat{DeviceID: dev.ID, Round: t}
+		start := time.Now()
+		if !incremental || t%refresh == 0 {
+			// Full refresh: reset and recompute over the complete batch
+			// budget — bitwise identical to the legacy from-scratch path.
+			acc.Reset()
+			if drs.Batches, err = acc.FoldBatches(header, local, s.Cfg.LocalBatch, fullImportanceBatches, rng); err != nil {
+				return err
+			}
+		} else if prefolded == 0 {
+			// Incremental round whose prefold folded nothing (an empty
+			// or sub-batch-size local dataset): fold on the critical
+			// path so the upload still reflects this round's budget.
+			if drs.Batches, err = acc.FoldBatches(header, local, s.Cfg.LocalBatch, incBatches, rng); err != nil {
+				return err
+			}
+		}
+		prefolded = 0
+		set, err := acc.Average()
 		if err != nil {
 			return err
 		}
+		drs.ImportanceNS = time.Since(start).Nanoseconds()
 		if enc != nil {
 			up, err := enc.encode(dev.ID, t, set.Layers)
 			if err != nil {
@@ -547,25 +699,41 @@ func (s *System) runDevice(ctx context.Context, edgeID, devIdx int) error {
 				return err
 			}
 		}
-		msg, err := transport.RecvKind(ctx, s.Net, name, transport.KindPersonalizedSet)
+		// Compute/communication overlap: while the upload is in flight
+		// and the edge waits for the rest of the cluster, fold the next
+		// incremental round's batches. They use the current parameters
+		// (one TrainLocal step behind where a non-overlapped fold would
+		// run) — the approximation the refresh period bounds. Wasted
+		// only when the edge declares this round final.
+		if incremental && t+1 < s.Cfg.Phase2Rounds && (t+1)%refresh != 0 {
+			start = time.Now()
+			if prefolded, err = acc.FoldBatches(header, local, s.Cfg.LocalBatch, incBatches, rng); err != nil {
+				return err
+			}
+			drs.PrefoldBatches = prefolded
+			drs.PrefoldNS = time.Since(start).Nanoseconds()
+		}
+		s.recordDeviceRound(drs)
+		// Receive the personalized set: dense, or delta-encoded against
+		// the previous round's downlink. Anything from the wrong sender,
+		// a duplicate, or an out-of-order round is a protocol violation
+		// named after the sender and kind — mirroring the edge's upload
+		// hardening.
+		msg, err := s.Net.Recv(ctx, name)
 		if err != nil {
 			return err
 		}
-		var ps PersonalizedSet
-		if err := s.decode(msg.Payload, &ps); err != nil {
-			return err
-		}
-		psLayers, err := ps.layers()
+		psLayers, discard, final, err := s.decodePersonalized(&downDec, msg, edge, t)
 		if err != nil {
 			return err
 		}
-		if err := header.ApplyImportance(&importance.Set{Layers: psLayers}, ps.Discard); err != nil {
+		if err := header.ApplyImportance(&importance.Set{Layers: psLayers}, discard); err != nil {
 			return err
 		}
 		if err := header.TrainLocal(local, 1, s.Cfg.LocalBatch, s.Cfg.LocalLR, rng); err != nil {
 			return err
 		}
-		if ps.Done {
+		if final {
 			break
 		}
 	}

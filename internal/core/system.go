@@ -15,13 +15,15 @@ import (
 	"acme/internal/pareto"
 	"acme/internal/tensor"
 	"acme/internal/transport"
+	"acme/internal/wire"
 )
 
 // Phase2RoundStat captures one edge server's round of the Phase 2-2
 // importance loop: the uplink volume it received (wire bytes including
-// the per-message header estimate), how many uploads arrived dense vs
-// delta-encoded, and the busy time the edge spent decoding, folding,
-// and finalizing the aggregation (the streaming pipeline's critical
+// the per-message header estimate), the downlink volume it sent back,
+// how many messages travelled dense vs delta-encoded in each direction,
+// and the busy time the edge spent decoding, folding, and finalizing
+// the aggregation plus streaming the downlinks (the pipeline's critical
 // path, excluding the wait for device training).
 type Phase2RoundStat struct {
 	EdgeID        int
@@ -30,6 +32,27 @@ type Phase2RoundStat struct {
 	DenseMessages int
 	DeltaMessages int
 	AggregateNS   int64
+
+	// Downlink direction: the personalized sets streamed back to the
+	// cluster as each round's combine finalizes.
+	DownlinkBytes     int64
+	DownDenseMessages int
+	DownDeltaMessages int
+	DownlinkNS        int64
+}
+
+// DeviceRoundStat traces one device's round of the importance loop:
+// how many minibatches it folded on the critical path (between
+// receiving the previous downlink and sending this round's upload),
+// how long that took, and how much folding it overlapped with the
+// in-flight upload (the prefold of the next incremental round).
+type DeviceRoundStat struct {
+	DeviceID       int
+	Round          int
+	Batches        int   // critical-path minibatches folded this round
+	ImportanceNS   int64 // critical-path fold + average time
+	PrefoldBatches int   // minibatches folded while the upload was in flight
+	PrefoldNS      int64 // overlapped fold time (off the critical path)
 }
 
 // Result aggregates the outcome of one full ACME run.
@@ -40,13 +63,22 @@ type Result struct {
 
 	// Phase2Rounds traces the importance loop per edge and round,
 	// ordered by (EdgeID, Round) — the data behind the byte/latency
-	// trajectory of BENCH_3.json.
+	// trajectory of BENCH_3.json / BENCH_4.json.
 	Phase2Rounds []Phase2RoundStat
+
+	// DeviceRounds traces the device side of the loop per device and
+	// round, ordered by (DeviceID, Round): critical-path importance
+	// compute versus folding overlapped with the in-flight upload.
+	DeviceRounds []DeviceRoundStat
 
 	// UploadBytes is the measured uplink volume of ACME's protocol
 	// (device stats + shared-data shards + importance sets + edge
 	// statistics).
 	UploadBytes int64
+	// DownlinkBytes is the measured edge → device personalized-set
+	// volume (dense PersonalizedSet plus delta-encoded downlinks) — the
+	// symmetric counterpart of the importance share of UploadBytes.
+	DownlinkBytes int64
 	// CentralizedUploadBytes is the simulated upload volume of a
 	// centralized system that ships every device's full local dataset to
 	// the cloud (the CS column of Table I).
@@ -103,6 +135,7 @@ type System struct {
 	mu           sync.Mutex
 	assignments  map[int]pareto.Candidate
 	phase2Rounds []Phase2RoundStat
+	deviceRounds []DeviceRoundStat
 }
 
 // NewSystem validates cfg and materializes the fleet and datasets.
@@ -238,6 +271,21 @@ func (s *System) decode(data []byte, v any) error {
 	return s.codec.Decode(data, v)
 }
 
+// sendCounted is send plus a wire-byte readout (payload + framing
+// estimate), for paths that feed the per-round traffic traces without
+// re-reading the shared Stats counters.
+func (s *System) sendCounted(kind transport.Kind, from, to string, v any) (int64, error) {
+	payload, err := s.codec.Encode(v)
+	if err != nil {
+		return 0, err
+	}
+	msg := transport.Message{Kind: kind, From: from, To: to, Payload: payload, Raw: wire.RawSize(v)}
+	if err := s.Net.Send(msg); err != nil {
+		return 0, err
+	}
+	return int64(len(payload)) + transport.HeaderEstimate, nil
+}
+
 // Run executes the full pipeline: Phase 1 on the cloud, Phase 2-1 on
 // the edges, and the Phase 2-2 single loop between edges and devices.
 // All roles run concurrently and communicate only via the network.
@@ -311,6 +359,7 @@ func (s *System) Run(ctx context.Context) (*Result, error) {
 		Assignments:  s.assignmentsCopy(),
 		Stats:        s.networkStats(),
 		Phase2Rounds: s.phase2RoundsCopy(),
+		DeviceRounds: s.deviceRoundsCopy(),
 	}
 	// Uplink kinds only: device/edge statistics, shared-data shards, and
 	// importance sets (dense or delta-encoded) — what Table I's "Upload
@@ -320,6 +369,9 @@ func (s *System) Run(ctx context.Context) (*Result, error) {
 		byKind[transport.KindRawData] +
 		byKind[transport.KindImportanceSet] +
 		byKind[transport.KindImportanceDelta]
+	// Downlink: the personalized-set return path, dense or delta.
+	res.DownlinkBytes = byKind[transport.KindPersonalizedSet] +
+		byKind[transport.KindImportanceDownDelta]
 	res.CentralizedUploadBytes = s.centralizedBytes()
 	res.SearchSpaceOurs = float64(len(s.clusters)) * nas.SpaceSize(s.Cfg.Search.Blocks)
 	res.SearchSpaceCS = float64(len(s.devices)) * nas.SpaceSize(s.Cfg.Search.Blocks) *
@@ -425,6 +477,27 @@ func (s *System) phase2RoundsCopy() []Phase2RoundStat {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].EdgeID != out[j].EdgeID {
 			return out[i].EdgeID < out[j].EdgeID
+		}
+		return out[i].Round < out[j].Round
+	})
+	return out
+}
+
+// recordDeviceRound stores one device round's importance-compute
+// statistics for the Result trace.
+func (s *System) recordDeviceRound(ds DeviceRoundStat) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.deviceRounds = append(s.deviceRounds, ds)
+}
+
+func (s *System) deviceRoundsCopy() []DeviceRoundStat {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := append([]DeviceRoundStat(nil), s.deviceRounds...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].DeviceID != out[j].DeviceID {
+			return out[i].DeviceID < out[j].DeviceID
 		}
 		return out[i].Round < out[j].Round
 	})

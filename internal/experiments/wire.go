@@ -3,20 +3,24 @@ package experiments
 import "acme/internal/core"
 
 // Wire options applied to every measured system run, settable from
-// acmebench's -wire/-quant/-delta flags. Zero values keep the config
-// defaults (binary codec, lossless payloads, dense uploads).
+// acmebench's -wire/-quant/-delta/-refresh flags. Zero values keep the
+// config defaults (binary codec, lossless payloads, dense exchange,
+// full importance recompute every round).
 var (
-	wireFormat  string
-	quantMode   core.QuantMode
-	deltaUpload bool
+	wireFormat    string
+	quantMode     core.QuantMode
+	deltaExchange bool
+	refreshPeriod int
 )
 
-// SetWireOptions overrides the wire format, quantization, and delta
-// encoding used by the measured (micro-scale) experiments.
-func SetWireOptions(format string, quant core.QuantMode, delta bool) {
+// SetWireOptions overrides the wire format, quantization, delta
+// encoding (both directions), and the device importance refresh period
+// used by the measured (micro-scale) experiments.
+func SetWireOptions(format string, quant core.QuantMode, delta bool, refresh int) {
 	wireFormat = format
 	quantMode = quant
-	deltaUpload = delta
+	deltaExchange = delta
+	refreshPeriod = refresh
 }
 
 func applyWireOptions(cfg *core.Config) {
@@ -26,7 +30,10 @@ func applyWireOptions(cfg *core.Config) {
 	if quantMode != core.QuantLossless {
 		cfg.Quantization = quantMode
 	}
-	if deltaUpload {
+	if deltaExchange {
 		cfg.DeltaImportance = true
+	}
+	if refreshPeriod > 0 {
+		cfg.ImportanceRefreshPeriod = refreshPeriod
 	}
 }

@@ -1,0 +1,70 @@
+package importance
+
+import (
+	"math/rand"
+	"testing"
+
+	"acme/internal/data"
+	"acme/internal/nn"
+)
+
+func benchClassifier(b *testing.B, rng *rand.Rand) *nn.BackboneClassifier {
+	b.Helper()
+	bb, err := nn.NewBackbone(nn.BackboneConfig{
+		InputDim: 64, NumPatches: 4, DModel: 16, NumHeads: 2, Hidden: 24, Depth: 2,
+	}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return nn.NewBackboneClassifier(bb, 10, rng)
+}
+
+func benchDataset(rng *rand.Rand) *data.Dataset {
+	spec := data.Spec{
+		Name: "b", NumClasses: 10, NumSuper: 2, Dim: 64,
+		SuperSep: 2, ClassSep: 1, WithinStd: 0.5,
+	}
+	gen, _ := data.NewGenerator(spec)
+	return gen.Sample(128, nil, rng)
+}
+
+// BenchmarkImportanceAccumulate measures one device round of importance
+// compute. Full is the legacy from-scratch path (reset + the complete
+// 8-batch budget every round); Incremental folds only 2 new batches
+// into the running accumulator — the steady-state critical path of
+// Config.ImportanceRefreshPeriod > 1.
+func BenchmarkImportanceAccumulate(b *testing.B) {
+	cases := []struct {
+		name    string
+		reset   bool
+		batches int
+	}{
+		{"Full", true, 8},
+		{"Incremental", false, 2},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			model := benchClassifier(b, rng)
+			ds := benchDataset(rng)
+			acc := NewAccumulator()
+			// Seed the running state so Incremental measures steady state.
+			if _, err := acc.FoldBatches(model, ds, 16, 8, rng); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if c.reset {
+					acc.Reset()
+				}
+				if _, err := acc.FoldBatches(model, ds, 16, c.batches, rng); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := acc.Average(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

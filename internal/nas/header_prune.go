@@ -14,37 +14,14 @@ import (
 // to maxBatches minibatches of local data and accumulates the
 // first-order Taylor parameter importances Q⁽¹⁾ᵣ = (gᵣυᵣ)² of the
 // header parameters (Eq. 16–18), returning their per-minibatch average.
+// It is the single-shot form of importance.Accumulator: one fresh
+// accumulation over the full batch budget.
 func ComputeImportanceSet(h *HeaderModel, local *data.Dataset, batchSize, maxBatches int, rng *rand.Rand) (*importance.Set, error) {
-	if batchSize <= 0 {
-		batchSize = 16
+	acc := importance.NewAccumulator()
+	if _, err := acc.FoldBatches(h, local, batchSize, maxBatches, rng); err != nil {
+		return nil, fmt.Errorf("nas: importance: %w", err)
 	}
-	set := importance.NewSet(h)
-	order := rng.Perm(local.Len())
-	batches := 0
-	for start := 0; start < len(order) && batches < maxBatches; start += batchSize {
-		end := start + batchSize
-		if end > len(order) {
-			end = len(order)
-		}
-		nn.ZeroGrads(h)
-		for _, i := range order[start:end] {
-			logits, err := h.Forward(local.X[i])
-			if err != nil {
-				return nil, fmt.Errorf("nas: importance forward: %w", err)
-			}
-			_, dl := nn.CrossEntropy(logits, local.Y[i])
-			h.Backward(dl)
-		}
-		if err := set.Accumulate(h); err != nil {
-			return nil, err
-		}
-		batches++
-	}
-	nn.ZeroGrads(h)
-	if batches > 0 {
-		set.Scale(1 / float64(batches))
-	}
-	return set, nil
+	return acc.Average()
 }
 
 // unit is a prunable neuron: a group of header parameters that are

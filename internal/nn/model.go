@@ -95,6 +95,29 @@ func TrainEpoch(c Classifier, opt Optimizer, xs [][]float64, ys []int, batch int
 	return total / float64(len(xs)), nil
 }
 
+// BatchGradients zeroes c's gradients and accumulates one minibatch of
+// cross-entropy gradients over the samples at idx, leaving them in
+// place for the caller (an optimizer step, or a Taylor importance fold
+// that reads g·υ per parameter). The model weights are not updated.
+func BatchGradients(c Classifier, xs [][]float64, ys []int, idx []int) error {
+	if len(xs) != len(ys) {
+		return fmt.Errorf("nn: %d samples vs %d labels", len(xs), len(ys))
+	}
+	ZeroGrads(c)
+	for _, i := range idx {
+		if i < 0 || i >= len(xs) {
+			return fmt.Errorf("nn: batch index %d outside [0,%d)", i, len(xs))
+		}
+		logits, err := c.Forward(xs[i])
+		if err != nil {
+			return fmt.Errorf("nn: batch forward: %w", err)
+		}
+		_, dl := CrossEntropy(logits, ys[i])
+		c.Backward(dl)
+	}
+	return nil
+}
+
 // Evaluate returns top-1 accuracy of c on (xs, ys).
 func Evaluate(c Classifier, xs [][]float64, ys []int) (float64, error) {
 	if len(xs) == 0 {

@@ -21,15 +21,16 @@ type Kind uint8
 
 // Protocol message kinds.
 const (
-	KindStats           Kind = iota + 1 // edge → cloud: cluster attribute statistics
-	KindBackbone                        // cloud → edge: customized backbone parameters
-	KindHeader                          // edge → device: backbone + header model
-	KindImportanceSet                   // device → edge: header importance set Qn
-	KindPersonalizedSet                 // edge → device: aggregated set Q'n
-	KindRawData                         // device → edge/cloud: raw training samples
-	KindControl                         // coordination/acknowledgement
-	KindProvision                       // out-of-band setup: shared data already stored at the edge
-	KindImportanceDelta                 // device → edge: importance set as a delta vs round t−1
+	KindStats               Kind = iota + 1 // edge → cloud: cluster attribute statistics
+	KindBackbone                            // cloud → edge: customized backbone parameters
+	KindHeader                              // edge → device: backbone + header model
+	KindImportanceSet                       // device → edge: header importance set Qn
+	KindPersonalizedSet                     // edge → device: aggregated set Q'n
+	KindRawData                             // device → edge/cloud: raw training samples
+	KindControl                             // coordination/acknowledgement
+	KindProvision                           // out-of-band setup: shared data already stored at the edge
+	KindImportanceDelta                     // device → edge: importance set as a delta vs round t−1
+	KindImportanceDownDelta                 // edge → device: personalized set as a delta vs round t−1
 )
 
 // String implements fmt.Stringer.
@@ -53,6 +54,8 @@ func (k Kind) String() string {
 		return "provision"
 	case KindImportanceDelta:
 		return "importance-delta"
+	case KindImportanceDownDelta:
+		return "importance-down-delta"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -266,6 +269,20 @@ func (s *Stats) CompressionRatio() float64 {
 		return 0
 	}
 	return float64(s.totalRaw) / float64(s.totalBytes)
+}
+
+// BytesForKinds sums the sent and received wire byte counters over the
+// given kinds, so direction-level readouts (e.g. the personalized-set
+// downlink pair KindPersonalizedSet + KindImportanceDownDelta) stay
+// consistent with the per-kind counters in both directions.
+func (s *Stats) BytesForKinds(kinds ...Kind) (sent, received int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, k := range kinds {
+		sent += s.bytesByKind[k]
+		received += s.recvBytesByKind[k]
+	}
+	return sent, received
 }
 
 // Kinds returns every message kind with recorded traffic in either

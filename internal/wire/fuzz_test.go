@@ -38,6 +38,12 @@ func FuzzDecode(f *testing.F) {
 		Round    int
 		Layers   []deltaLayer
 	}
+	type downlinkDelta struct {
+		Round   int
+		Discard int
+		Done    bool
+		Layers  []deltaLayer
+	}
 
 	sparseDelta := DiffLayer(
 		[]byte{1, 2, 3, 4, 5, 6, 7, 8},
@@ -54,6 +60,15 @@ func FuzzDecode(f *testing.F) {
 		// the decode itself stays panic-free.
 		deltaUpload{DeviceID: 4, Round: 2, Layers: []deltaLayer{
 			{Mode: 2, Delta: DeltaLayer{N: 3, Elem: 1, Mask: []byte{0xff}, Changed: []byte{1}}},
+		}},
+		// The symmetric edge → device downlink record: a sparse layer
+		// plus a dense fallback layer, and a corrupt-bitmask variant.
+		downlinkDelta{Round: 2, Discard: 8, Done: true, Layers: []deltaLayer{
+			{Mode: 1, Scale: 0.25, Delta: sparseDelta},
+			{Mode: 0, Delta: DeltaLayer{N: 1, Elem: 4, Dense: true, Changed: []byte{9, 8, 7, 6}}},
+		}},
+		downlinkDelta{Round: 1, Layers: []deltaLayer{
+			{Mode: 2, Delta: DeltaLayer{N: 5, Elem: 1, Mask: []byte{0xfe}, Changed: []byte{3}}},
 		}},
 		[]float64{1, 2, 3},
 		map[string]int{"a": 1},
@@ -79,6 +94,7 @@ func FuzzDecode(f *testing.F) {
 		func() any { return &assignment{} },
 		func() any { return &upload{} },
 		func() any { return &deltaUpload{} },
+		func() any { return &downlinkDelta{} },
 		func() any { return new([]float64) },
 		func() any { return new(map[string]int) },
 		func() any { return new(string) },
