@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-json3 bench-compare fuzz fmt fmt-check vet ci
+.PHONY: all build test race bench bench-json bench-json3 bench-json4 bench-compare churn-smoke fuzz fmt fmt-check vet ci
 
 all: build test
 
@@ -18,22 +18,31 @@ race:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./internal/tensor ./internal/wire ./internal/core ./internal/aggregate ./internal/importance
 
-# bench-json regenerates BENCH_4.json: the symmetric Phase 2-2
-# exchange trajectory — importance uplink + personalized-set downlink
-# bytes (memory and loopback-TCP transports) and the incremental
-# device-compute cut — for dense/delta × lossless/mixed on the default
-# scenario.
+# bench-json regenerates BENCH_5.json: the straggler-cutoff
+# trajectory — per-round edge gather wait with an artificially slowed
+# device, quorum+deadline cutoff vs wait-for-all — plus the BENCH_4
+# continuity configs (dense/delta wire bytes on the default scenario).
 bench-json:
-	$(GO) run ./cmd/acmebench -exp bench4 -bench4json BENCH_4.json
+	$(GO) run ./cmd/acmebench -exp bench5 -bench5json BENCH_5.json
 
 # bench-json3 regenerates the PR 3 trajectory (uplink only).
 bench-json3:
 	$(GO) run ./cmd/acmebench -exp bench3 -benchjson BENCH_3.json
 
+# bench-json4 regenerates the PR 4 symmetric-exchange trajectory.
+bench-json4:
+	$(GO) run ./cmd/acmebench -exp bench4 -bench4json BENCH_4.json
+
 # bench-compare diffs the two newest checked-in BENCH_*.json files and
 # fails on any >10% wire-byte regression.
 bench-compare:
 	$(GO) run ./cmd/benchcmp
+
+# churn-smoke kills one device mid-run over loopback TCP and rejoins it
+# via the dense-resync control path, asserting the run completes with
+# every device reporting and the exchange back to sparse deltas.
+churn-smoke:
+	$(GO) test -run 'TestChurnRejoinTCP' -count=1 -v ./internal/core
 
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=20s ./internal/wire
@@ -50,4 +59,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: fmt-check vet build test race bench bench-compare
+ci: fmt-check vet build test race bench bench-compare churn-smoke

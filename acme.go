@@ -128,7 +128,22 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 // one for multi-process deployments.
 type Network = transport.Network
 
-// TCPNetwork is a socket-backed Network; close it when done.
+// Transport is the full substrate contract — Network plus peer-table
+// rebinding, addressing, traffic counters, and Close — implemented by
+// the in-memory, TCP, and fault-injecting networks alike.
+type Transport = transport.Transport
+
+// Session is the session-oriented API over a Network: the typed
+// control plane (JOIN / LEAVE / RESYNC-REQUEST / ROUND-CUTOFF) and the
+// round-scoped Gather primitive with straggler quorum and deadline.
+type Session = transport.Session
+
+// NewSession binds a session for the named node over net.
+func NewSession(node string, net Network) *Session { return transport.NewSession(node, net) }
+
+// TCPNetwork is a socket-backed Network with supervised per-peer
+// links: reconnect with capped exponential backoff, connection reuse
+// via the JOIN handshake, LEAVE on close; close it when done.
 type TCPNetwork = transport.TCP
 
 // NewTCPNetwork starts a TCP network node for the named role listening

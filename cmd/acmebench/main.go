@@ -35,8 +35,11 @@ func run() error {
 	quant := flag.String("quant", "lossless", "payload quantization for measured runs: lossless, float16, int8, mixed")
 	delta := flag.Bool("delta", false, "delta-encode importance payloads (both directions) in measured runs")
 	refresh := flag.Int("refresh", 0, "device importance full-refresh period in measured runs (≤1 = full recompute every round)")
+	quorum := flag.Float64("quorum", 0, "straggler quorum fraction in (0,1) for measured runs (set together with -cutoff)")
+	cutoff := flag.Duration("cutoff", 0, "straggler deadline per aggregation round for measured runs")
 	benchJSON := flag.String("benchjson", "BENCH_3.json", "output path for the bench3 trajectory JSON (bench3 pins its own dense/delta × lossless/mixed variants; -wire/-quant/-delta do not apply to it)")
 	bench4JSON := flag.String("bench4json", "BENCH_4.json", "output path for the bench4 symmetric-exchange JSON (bench4 pins its own memory/TCP × dense/delta variants)")
+	bench5JSON := flag.String("bench5json", "BENCH_5.json", "output path for the bench5 straggler-cutoff JSON (bench5 pins its own wait/cutoff variants)")
 	flag.Parse()
 	tensor.SetParallelism(*parallel)
 	qm, err := core.ParseQuantMode(*quant)
@@ -47,6 +50,7 @@ func run() error {
 		return err
 	}
 	experiments.SetWireOptions(*wireName, qm, *delta, *refresh)
+	experiments.SetSessionOptions(*quorum, *cutoff)
 
 	type runner struct {
 		id string
@@ -74,12 +78,13 @@ func run() error {
 		{"ablation-rounds", experiments.AblationLoopRounds},
 		{"bench3", func() (*experiments.Table, error) { return experiments.Bench3JSON(*benchJSON) }},
 		{"bench4", func() (*experiments.Table, error) { return experiments.Bench4JSON(*bench4JSON) }},
+		{"bench5", func() (*experiments.Table, error) { return experiments.Bench5JSON(*bench5JSON) }},
 	}
-	// bench3/bench4 rewrite the checked-in BENCH_N.json files and add
-	// several full system runs each, so they never ride along with
-	// -exp all — they only run when named explicitly (as make
+	// bench3/bench4/bench5 rewrite the checked-in BENCH_N.json files
+	// and add several full system runs each, so they never ride along
+	// with -exp all — they only run when named explicitly (as make
 	// bench-json does).
-	explicitOnly := map[string]bool{"bench3": true, "bench4": true}
+	explicitOnly := map[string]bool{"bench3": true, "bench4": true, "bench5": true}
 
 	want := map[string]bool{}
 	all := *exp == "all"

@@ -38,12 +38,18 @@ func run() error {
 	peers := flag.String("peers", "", "comma-separated name=addr peer list (must include every role)")
 	edges := flag.Int("edges", 1, "edge servers")
 	devices := flag.Int("devices", 2, "devices per cluster")
+	samples := flag.Int("samples", 160, "samples per device (identical across processes)")
+	rounds := flag.Int("rounds", 2, "phase 2-2 loop rounds T (identical across processes)")
 	seed := flag.Int64("seed", 1, "shared random seed (identical across processes)")
 	timeout := flag.Duration("timeout", 10*time.Minute, "run timeout")
 	wireName := flag.String("wire", "binary", "wire format: binary, gob (identical across processes)")
 	quant := flag.String("quant", "lossless", "payload quantization: lossless, float16, int8, mixed (identical across processes)")
 	delta := flag.Bool("delta", false, "delta-encode successive importance payloads in both directions (identical across processes)")
 	refresh := flag.Int("refresh", 0, "device importance full-refresh period (identical across processes)")
+	quorum := flag.Float64("quorum", 0, "straggler quorum fraction in (0,1) for edge rounds (identical across processes)")
+	cutoff := flag.Duration("cutoff", 0, "straggler deadline per aggregation round (set together with -quorum)")
+	straggle := flag.Duration("straggle", 0, "artificially delay device 0's upload by this much every round (identical across processes; pairs with -quorum/-cutoff)")
+	rejoin := flag.Bool("rejoin", false, "device roles only: rejoin a run already in progress via a dense resync instead of the setup handshake")
 	flag.Parse()
 
 	if *role == "" || *listen == "" || *peers == "" {
@@ -62,6 +68,8 @@ func run() error {
 	cfg.EdgeServers = *edges
 	cfg.Fleet.Clusters = *edges
 	cfg.Fleet.DevicesPerCluster = *devices
+	cfg.SamplesPerDevice = *samples
+	cfg.Phase2Rounds = *rounds
 	cfg.Seed = *seed
 	cfg.WireFormat = *wireName
 	qm, err := acme.ParseQuantMode(*quant)
@@ -71,6 +79,12 @@ func run() error {
 	cfg.Quantization = qm
 	cfg.DeltaImportance = *delta
 	cfg.ImportanceRefreshPeriod = *refresh
+	cfg.StragglerQuorum = *quorum
+	cfg.StragglerDeadline = *cutoff
+	if *straggle > 0 {
+		cfg.SlowDeviceID = 0
+		cfg.SlowDeviceDelay = *straggle
+	}
 
 	net, err := transport.NewTCP(*role, *listen, peerMap)
 	if err != nil {
@@ -87,8 +101,14 @@ func run() error {
 	defer cancel()
 
 	fmt.Printf("acmenode: role %s listening on %s\n", *role, net.Addr())
-	res, err := sys.RunRole(ctx, *role)
-	if err != nil {
+	var res *core.Result
+	if *rejoin {
+		// A churned device re-enters the loop in progress: it announces
+		// a RESYNC-REQUEST and receives a dense re-seed from its edge.
+		if err := sys.RejoinRole(ctx, *role); err != nil {
+			return fmt.Errorf("rejoin %s: %w", *role, err)
+		}
+	} else if res, err = sys.RunRole(ctx, *role); err != nil {
 		return fmt.Errorf("role %s: %w", *role, err)
 	}
 	if res != nil {

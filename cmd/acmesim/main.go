@@ -39,6 +39,9 @@ func run() error {
 	quant := flag.String("quant", "lossless", "payload quantization: lossless, float16, int8, mixed")
 	delta := flag.Bool("delta", false, "delta-encode successive importance payloads in both directions (round t vs t−1)")
 	refresh := flag.Int("refresh", 0, "device importance full-refresh period (≤1 = full recompute every round; >1 folds only new batches in between, overlapped with the upload)")
+	quorum := flag.Float64("quorum", 0, "straggler quorum fraction in (0,1): combine a round once this share of uploads arrived and -cutoff elapsed (0 = wait for every device)")
+	cutoff := flag.Duration("cutoff", 0, "straggler deadline per aggregation round (set together with -quorum)")
+	straggle := flag.Duration("straggle", 0, "artificially delay device 0's upload by this much every round (a deterministic straggler for -quorum/-cutoff demos)")
 	flag.Parse()
 
 	cfg := acme.DefaultConfig()
@@ -68,6 +71,12 @@ func run() error {
 	cfg.Quantization = qm
 	cfg.DeltaImportance = *delta
 	cfg.ImportanceRefreshPeriod = *refresh
+	cfg.StragglerQuorum = *quorum
+	cfg.StragglerDeadline = *cutoff
+	if *straggle > 0 {
+		cfg.SlowDeviceID = 0
+		cfg.SlowDeviceDelay = *straggle
+	}
 
 	switch *level {
 	case "IID":
@@ -169,11 +178,19 @@ func run() error {
 
 	if len(res.Phase2Rounds) > 0 {
 		fmt.Println("\nphase 2-2 importance loop (per edge round):")
+		var cutoffs, resyncs, staleDrops int
 		for _, rs := range res.Phase2Rounds {
-			fmt.Printf("  edge-%d round %d: up %7d B (%d dense + %d delta msgs), down %7d B (%d dense + %d delta msgs), aggregate %.2fms, downlink %.2fms\n",
+			fmt.Printf("  edge-%d round %d: up %7d B (%d dense + %d delta msgs), down %7d B (%d dense + %d delta msgs), gather %.2fms, aggregate %.2fms, downlink %.2fms\n",
 				rs.EdgeID, rs.Round, rs.UploadBytes, rs.DenseMessages, rs.DeltaMessages,
 				rs.DownlinkBytes, rs.DownDenseMessages, rs.DownDeltaMessages,
-				float64(rs.AggregateNS)/1e6, float64(rs.DownlinkNS)/1e6)
+				float64(rs.GatherWallNS)/1e6, float64(rs.AggregateNS)/1e6, float64(rs.DownlinkNS)/1e6)
+			cutoffs += rs.CutoffCount
+			resyncs += rs.ResyncCount
+			staleDrops += rs.StaleMessages
+		}
+		if cutoffs+resyncs+staleDrops > 0 {
+			fmt.Printf("  churn: %d straggler cutoffs, %d resyncs, %d stale uploads dropped\n",
+				cutoffs, resyncs, staleDrops)
 		}
 	}
 

@@ -3,6 +3,17 @@
 // process. Each role gets its own TCP listener and its own System
 // instance built from the identical config, exactly as separate OS
 // processes would.
+//
+// The sockets are session-supervised: each node keeps one link per
+// peer (the dialer announces itself with a JOIN control frame and the
+// acceptor multiplexes replies onto the same connection), a dead
+// connection is redialed with capped exponential backoff inside Send,
+// and Close announces a LEAVE. The run below also enables the
+// straggler cutoff: with -quorum/-cutoff semantics an edge combines a
+// round once half its cluster has uploaded and the deadline passed,
+// instead of pacing at the slowest device — on this healthy loopback
+// cluster the generous deadline never fires, so the results match an
+// uncut run exactly.
 package main
 
 import (
@@ -26,6 +37,11 @@ func main() {
 	// here because every process of a TCP deployment must agree on it.
 	cfg.WireFormat = "binary"
 	cfg.Quantization = acme.QuantLossless
+	// Churn tolerance: combine once 50% of a cluster uploaded and 5s
+	// passed — far above a healthy round, so results are untouched, but
+	// a wedged device could no longer stall the loop forever.
+	cfg.StragglerQuorum = 0.5
+	cfg.StragglerDeadline = 5 * time.Second
 
 	// Build one system just to enumerate the roles.
 	probe, err := acme.NewSystem(cfg)

@@ -177,6 +177,62 @@ func (c *Combiner) Result(prev []*importance.Set) ([]*importance.Set, float64, e
 	return c.acc, SetsDelta(prev, c.acc), nil
 }
 
+// ResultPartial finalizes a quorum combine: the positions that never
+// arrived (a straggler cutoff) are simply skipped, and every output
+// accumulator is renormalized by its present similarity mass
+// Σ_{j present} sim[i][j], so each combined set stays a convex
+// combination of the uploads that did arrive instead of shrinking
+// toward zero with the missing weight. Buffered out-of-order arrivals
+// beyond the first gap are folded here, still in ascending position
+// order. present reports how many positions contributed. A full
+// combine should keep using Result — it skips the renormalization pass
+// entirely, so the no-cutoff path stays bitwise identical to Combine.
+func (c *Combiner) ResultPartial(prev []*importance.Set) ([]*importance.Set, int, float64, error) {
+	if c.added == 0 {
+		return nil, 0, 0, fmt.Errorf("aggregate: quorum combine with no sets folded")
+	}
+	folded := make([]bool, c.n)
+	for p := 0; p < c.next; p++ {
+		folded[p] = true
+	}
+	for p := c.next; p < c.n; p++ {
+		if c.pending[p] == nil {
+			continue
+		}
+		c.fold(p, c.pending[p])
+		c.pending[p] = nil
+		folded[p] = true
+	}
+	c.next = c.n
+	present := 0
+	for _, ok := range folded {
+		if ok {
+			present++
+		}
+	}
+	tensor.ParallelFor(c.n, func(i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			var mass float64
+			for j, ok := range folded {
+				if ok {
+					mass += c.sim[i][j]
+				}
+			}
+			if mass <= 0 {
+				continue
+			}
+			inv := 1 / mass
+			for l := range c.acc[i].Layers {
+				row := c.acc[i].Layers[l]
+				for k := range row {
+					row[k] *= inv
+				}
+			}
+		}
+	})
+	return c.acc, present, SetsDelta(prev, c.acc), nil
+}
+
 // SetsDelta measures the mean relative L2 change between consecutive
 // rounds' aggregated importance sets (the §II-A convergence monitor).
 // Empty inputs, length mismatches, nil sets, and per-layer shape

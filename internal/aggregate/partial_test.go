@@ -1,0 +1,122 @@
+package aggregate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestResultPartialMatchesRenormalizedCombine: a quorum combine over
+// the present subset must equal the full Combine computed over the same
+// subset with the similarity rows renormalized by the present mass.
+func TestResultPartialMatchesRenormalizedCombine(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 5
+	shape := []int{17, 9}
+	sets := randomSets(rng, n, shape)
+	sim := randomStochastic(rng, n)
+	missing := map[int]bool{1: true, 3: true}
+
+	comb, err := NewCombiner(sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Out-of-order adds with gaps: 4 lands before 0, and 1/3 never do.
+	for _, p := range []int{4, 0, 2} {
+		if err := comb.Add(p, sets[p]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, present, delta, err := comb.ResultPartial(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if present != 3 {
+		t.Fatalf("present %d, want 3", present)
+	}
+	if !math.IsInf(delta, 1) {
+		t.Fatalf("nil prev must report +Inf delta, got %v", delta)
+	}
+
+	for i := 0; i < n; i++ {
+		var mass float64
+		for j := 0; j < n; j++ {
+			if !missing[j] {
+				mass += sim[i][j]
+			}
+		}
+		want := sets[0].ZeroClone()
+		for j := 0; j < n; j++ {
+			if missing[j] {
+				continue
+			}
+			if err := want.AddScaled(sim[i][j]/mass, sets[j]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for l := range want.Layers {
+			for k := range want.Layers[l] {
+				if diff := math.Abs(got[i].Layers[l][k] - want.Layers[l][k]); diff > 1e-12 {
+					t.Fatalf("output %d layer %d[%d]: %v vs %v", i, l, k, got[i].Layers[l][k], want.Layers[l][k])
+				}
+			}
+		}
+	}
+}
+
+// TestResultPartialFullSetMatchesResult: with nothing missing, the
+// partial finalize must agree with Result to float tolerance (the mass
+// is exactly the row sum ≈ 1).
+func TestResultPartialFullSetMatchesResult(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n = 4
+	sets := randomSets(rng, n, []int{12})
+	sim := UniformMatrix(n)
+
+	full, err := NewCombiner(sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial, err := NewCombiner(sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < n; p++ {
+		if err := full.Add(p, sets[p]); err != nil {
+			t.Fatal(err)
+		}
+		if err := partial.Add(p, sets[p]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, _, err := full.Result(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, present, _, err := partial.ResultPartial(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if present != n {
+		t.Fatalf("present %d, want %d", present, n)
+	}
+	for i := range want {
+		for l := range want[i].Layers {
+			for k := range want[i].Layers[l] {
+				if diff := math.Abs(got[i].Layers[l][k] - want[i].Layers[l][k]); diff > 1e-12 {
+					t.Fatalf("full-set partial diverged at %d/%d/%d by %g", i, l, k, diff)
+				}
+			}
+		}
+	}
+}
+
+func TestResultPartialRejectsEmpty(t *testing.T) {
+	comb, err := NewCombiner(UniformMatrix(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := comb.ResultPartial(nil); err == nil {
+		t.Fatal("empty quorum combine accepted")
+	}
+}

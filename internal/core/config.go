@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"acme/internal/cluster"
 	"acme/internal/data"
@@ -95,6 +96,26 @@ type Config struct {
 	// round folds into the running accumulator (0 = default 2; full
 	// refresh rounds always fold the complete budget).
 	IncrementalBatches int
+	// StragglerQuorum and StragglerDeadline enable the round-scoped
+	// straggler cutoff: once a ceil(StragglerQuorum × cluster size)
+	// fraction of a round's importance uploads has arrived and
+	// StragglerDeadline has elapsed since the edge started gathering,
+	// the edge combines without the stragglers (similarity weights
+	// renormalized over the present devices), invalidates the cut
+	// devices' delta shadows, and sends each one a ROUND-CUTOFF control
+	// record instead of a personalized set — so the loop stops pacing
+	// at the slowest device. Both zero (the default) waits for every
+	// device, which keeps seeded Results bitwise identical to the
+	// pre-session protocol. Quorum is a fraction in (0,1); the two must
+	// be set together.
+	StragglerQuorum   float64
+	StragglerDeadline time.Duration
+	// SlowDeviceDelay artificially delays one device's importance
+	// upload by this much every round (the device whose ID is
+	// SlowDeviceID) — a deterministic straggler for benchmarks and
+	// cutoff tests. 0 disables the injection.
+	SlowDeviceID    int
+	SlowDeviceDelay time.Duration
 	// TopKFraction sparsifies device importance uploads to the top
 	// fraction of entries by magnitude (0 or ≥1 sends dense sets). Low-
 	// importance entries only matter near the discard threshold, so
@@ -242,6 +263,15 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: negative incremental batch count %d", c.IncrementalBatches)
 	case c.Parallelism < 0:
 		return fmt.Errorf("core: negative parallelism %d", c.Parallelism)
+	case c.StragglerQuorum != 0 && (c.StragglerQuorum < 0 || c.StragglerQuorum >= 1):
+		return fmt.Errorf("core: straggler quorum %v outside (0,1)", c.StragglerQuorum)
+	case c.StragglerDeadline < 0:
+		return fmt.Errorf("core: negative straggler deadline %v", c.StragglerDeadline)
+	case (c.StragglerQuorum > 0) != (c.StragglerDeadline > 0):
+		return fmt.Errorf("core: straggler quorum and deadline must be set together (-quorum %v, -cutoff %v)",
+			c.StragglerQuorum, c.StragglerDeadline)
+	case c.SlowDeviceDelay < 0:
+		return fmt.Errorf("core: negative slow-device delay %v", c.SlowDeviceDelay)
 	case !c.Quantization.Valid():
 		return fmt.Errorf("core: unknown quantization mode %d", int(c.Quantization))
 	}

@@ -33,6 +33,21 @@ type Phase2RoundStat struct {
 	DeltaMessages int
 	AggregateNS   int64
 
+	// GatherWallNS is the wall-clock time the edge spent in the round's
+	// upload gather — the wait the straggler cutoff exists to bound.
+	GatherWallNS int64
+	// CutoffCount is how many expected devices missed the straggler
+	// deadline and were combined around (their delta shadows were
+	// invalidated and they received a ROUND-CUTOFF instead of a
+	// personalized set).
+	CutoffCount int
+	// StaleMessages counts dropped uploads that carried an earlier
+	// round — a cut straggler's late arrival.
+	StaleMessages int
+	// ResyncCount is how many devices re-entered the loop this round
+	// via a RESYNC-REQUEST (dense re-seed of both delta shadows).
+	ResyncCount int
+
 	// Downlink direction: the personalized sets streamed back to the
 	// cluster as each round's combine finalizes.
 	DownlinkBytes     int64
@@ -266,24 +281,44 @@ func (s *System) send(kind transport.Kind, from, to string, v any) error {
 	return transport.SendValue(s.Net, s.codec, kind, from, to, v)
 }
 
+// sendRound is send with the message stamped with its loop round, so
+// the session layer can tell a live upload from a cut straggler's
+// stale one without decoding the payload.
+func (s *System) sendRound(kind transport.Kind, from, to string, round int, v any) error {
+	payload, err := s.codec.Encode(v)
+	if err != nil {
+		return err
+	}
+	return s.Net.Send(transport.Message{
+		Kind: kind, From: from, To: to, Round: round,
+		Payload: payload, Raw: wire.RawSize(v),
+	})
+}
+
 // decode deserializes a payload with the configured wire codec.
 func (s *System) decode(data []byte, v any) error {
 	return s.codec.Decode(data, v)
 }
 
-// sendCounted is send plus a wire-byte readout (payload + framing
+// sendCounted is sendRound plus a wire-byte readout (payload + framing
 // estimate), for paths that feed the per-round traffic traces without
 // re-reading the shared Stats counters.
-func (s *System) sendCounted(kind transport.Kind, from, to string, v any) (int64, error) {
+func (s *System) sendCounted(kind transport.Kind, from, to string, round int, v any) (int64, error) {
 	payload, err := s.codec.Encode(v)
 	if err != nil {
 		return 0, err
 	}
-	msg := transport.Message{Kind: kind, From: from, To: to, Payload: payload, Raw: wire.RawSize(v)}
+	msg := transport.Message{Kind: kind, From: from, To: to, Round: round, Payload: payload, Raw: wire.RawSize(v)}
 	if err := s.Net.Send(msg); err != nil {
 		return 0, err
 	}
 	return int64(len(payload)) + transport.HeaderEstimate, nil
+}
+
+// cutoffEnabled reports whether the straggler cutoff is configured:
+// a quorum fraction plus a deadline (see Config.StragglerQuorum).
+func (s *System) cutoffEnabled() bool {
+	return s.Cfg.StragglerQuorum > 0 && s.Cfg.StragglerQuorum < 1 && s.Cfg.StragglerDeadline > 0
 }
 
 // Run executes the full pipeline: Phase 1 on the cloud, Phase 2-1 on
@@ -427,6 +462,23 @@ func (s *System) RunRole(ctx context.Context, role string) (*Result, error) {
 		}
 	}
 	return nil, fmt.Errorf("core: unknown role %q", role)
+}
+
+// RejoinRole re-enters a churned device into a run already in
+// progress: instead of the full setup handshake, the device announces
+// itself to its edge with a RESYNC-REQUEST and receives a dense
+// re-seed — the model package plus the round at which it rejoins the
+// loop — so the remaining rounds continue sparse without restarting
+// the run (cmd/acmenode -rejoin). Only device roles can rejoin.
+func (s *System) RejoinRole(ctx context.Context, role string) error {
+	for e, members := range s.clusters {
+		for _, di := range members {
+			if role == s.devices[di].Name() {
+				return s.runDeviceRejoin(ctx, e, di)
+			}
+		}
+	}
+	return fmt.Errorf("core: rejoin is only for device roles, got %q", role)
 }
 
 // RoleNames lists every role of the configured system in launch order.

@@ -1,16 +1,22 @@
 package experiments
 
-import "acme/internal/core"
+import (
+	"time"
+
+	"acme/internal/core"
+)
 
 // Wire options applied to every measured system run, settable from
 // acmebench's -wire/-quant/-delta/-refresh flags. Zero values keep the
 // config defaults (binary codec, lossless payloads, dense exchange,
 // full importance recompute every round).
 var (
-	wireFormat    string
-	quantMode     core.QuantMode
-	deltaExchange bool
-	refreshPeriod int
+	wireFormat      string
+	quantMode       core.QuantMode
+	deltaExchange   bool
+	refreshPeriod   int
+	stragglerQuorum float64
+	stragglerCutoff time.Duration
 )
 
 // SetWireOptions overrides the wire format, quantization, delta
@@ -21,6 +27,14 @@ func SetWireOptions(format string, quant core.QuantMode, delta bool, refresh int
 	quantMode = quant
 	deltaExchange = delta
 	refreshPeriod = refresh
+}
+
+// SetSessionOptions overrides the straggler cutoff of the measured
+// experiments' edge rounds (acmebench's -quorum/-cutoff flags). Both
+// zero keeps the legacy wait-for-everyone behaviour.
+func SetSessionOptions(quorum float64, cutoff time.Duration) {
+	stragglerQuorum = quorum
+	stragglerCutoff = cutoff
 }
 
 func applyWireOptions(cfg *core.Config) {
@@ -35,5 +49,12 @@ func applyWireOptions(cfg *core.Config) {
 	}
 	if refreshPeriod > 0 {
 		cfg.ImportanceRefreshPeriod = refreshPeriod
+	}
+	// Apply even a half-set pair: core's Config.Validate rejects
+	// quorum-without-deadline loudly, exactly as acmesim/acmenode do,
+	// instead of silently measuring the wait-for-everyone path.
+	if stragglerQuorum != 0 || stragglerCutoff != 0 {
+		cfg.StragglerQuorum = stragglerQuorum
+		cfg.StragglerDeadline = stragglerCutoff
 	}
 }

@@ -7,16 +7,20 @@ import (
 	"time"
 )
 
-// Flaky wraps a Network with failure injection: random delivery delays
-// (and therefore cross-sender reordering) and optional duplication.
-// ACME's protocol must tolerate reordering — messages of the same
-// round can arrive in any order. Duplicates, by contrast, are treated
-// as protocol violations on every edge-bound kind (setup stats,
-// shards, and importance uploads are all rejected loudly rather than
-// silently overwritten), so DuplicateProb is a fault-injection knob
-// for asserting that rejection, not something runs tolerate. Message
-// loss is deliberately not injected: the protocol assumes a reliable
-// transport (TCP), as the paper's deployment does.
+// Flaky wraps a Transport with failure injection: random delivery
+// delays (and therefore cross-sender reordering) and optional
+// duplication. ACME's protocol must tolerate reordering — messages of
+// the same round can arrive in any order. Duplicates, by contrast, are
+// treated as protocol violations on every edge-bound kind (setup
+// stats, shards, and importance uploads are all rejected loudly rather
+// than silently overwritten), so DuplicateProb is a fault-injection
+// knob for asserting that rejection, not something runs tolerate.
+// Message loss is deliberately not injected: the protocol assumes a
+// reliable transport (TCP), as the paper's deployment does.
+//
+// Flaky forwards the full Transport interface — Close, SetPeers,
+// addressing, and Stats — so it composes with the session API and can
+// wrap TCP as readily as Memory.
 type Flaky struct {
 	inner Network
 
@@ -32,7 +36,7 @@ type Flaky struct {
 	wg  sync.WaitGroup
 }
 
-var _ Network = (*Flaky)(nil)
+var _ Transport = (*Flaky)(nil)
 
 // NewFlaky wraps inner with delay/duplication injection.
 func NewFlaky(inner Network, maxDelay time.Duration, seed int64) *Flaky {
@@ -70,6 +74,24 @@ func (f *Flaky) Recv(ctx context.Context, node string) (Message, error) {
 	return f.inner.Recv(ctx, node)
 }
 
+// SetPeers forwards the peer table to the wrapped network (late-bound
+// TCP addresses survive failure injection). A no-op when the inner
+// network has no peer table.
+func (f *Flaky) SetPeers(peers map[string]string) {
+	if t, ok := f.inner.(interface{ SetPeers(map[string]string) }); ok {
+		t.SetPeers(peers)
+	}
+}
+
+// Addr forwards the wrapped network's address, so a Flaky-wrapped TCP
+// node can still publish its listener to the cluster.
+func (f *Flaky) Addr() string {
+	if t, ok := f.inner.(interface{ Addr() string }); ok {
+		return t.Addr()
+	}
+	return "flaky"
+}
+
 // Stats exposes the wrapped network's traffic counters, so byte
 // accounting survives failure injection. Returns empty counters when
 // the inner network does not track traffic.
@@ -80,6 +102,22 @@ func (f *Flaky) Stats() *Stats {
 	}
 	return NewStats()
 }
+
+// Close waits for the in-flight deliveries it owns, then closes the
+// wrapped network. Without the wait a delayed delivery could race the
+// teardown and be dropped silently instead of surfacing as a closed-
+// network send.
+func (f *Flaky) Close() error {
+	f.wg.Wait()
+	if c, ok := f.inner.(interface{ Close() error }); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// Inner returns the wrapped network (tests reach through to registers
+// and raw inboxes).
+func (f *Flaky) Inner() Network { return f.inner }
 
 // Wait blocks until all in-flight deliveries have completed.
 func (f *Flaky) Wait() { f.wg.Wait() }

@@ -1,0 +1,242 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTCPSupervisedReconnect is the regression test for the dead cached
+// connection: killing the established conn mid-run must cost one
+// supervised redial, not poison every subsequent Send to that peer.
+func TestTCPSupervisedReconnect(t *testing.T) {
+	a, b := newPair(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	if err := a.Send(Message{Kind: KindControl, From: "a", To: "b", Payload: []byte("one")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recv(ctx, "b"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the cached connection out from under the link.
+	l := a.link("b")
+	l.mu.Lock()
+	if l.conn == nil {
+		l.mu.Unlock()
+		t.Fatal("no cached connection after a successful send")
+	}
+	l.conn.Close()
+	l.mu.Unlock()
+
+	// Delivery must resume: the first write may fail into the closed
+	// socket, and supervision redials with backoff inside Send.
+	if err := a.Send(Message{Kind: KindControl, From: "a", To: "b", Payload: []byte("two")}); err != nil {
+		t.Fatalf("send after conn kill: %v", err)
+	}
+	msg, err := b.Recv(ctx, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(msg.Payload) != "two" {
+		t.Fatalf("resumed delivery carried %q", msg.Payload)
+	}
+}
+
+// TestTCPConnectionReuse asserts the multiplexing half of supervision:
+// after a dials b (announcing itself with a JOIN frame), b's replies
+// ride the same connection instead of a second socket.
+func TestTCPConnectionReuse(t *testing.T) {
+	a, b := newPair(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	if err := a.Send(Message{Kind: KindControl, From: "a", To: "b", Payload: []byte("hello")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recv(ctx, "b"); err != nil {
+		t.Fatal(err)
+	}
+	// The JOIN handshake precedes the payload frame on the same conn,
+	// so by now b has adopted it as its send path to a.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		l := b.link("a")
+		l.mu.Lock()
+		adopted := l.conn != nil
+		l.mu.Unlock()
+		if adopted {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("b never adopted a's connection for replies")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := b.Send(Message{Kind: KindControl, From: "b", To: "a", Payload: []byte("reply")}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := a.Recv(ctx, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(msg.Payload) != "reply" {
+		t.Fatalf("multiplexed reply carried %q", msg.Payload)
+	}
+	// No reverse dial happened: a accepted nothing.
+	a.mu.Lock()
+	accepted := len(a.inConns)
+	a.mu.Unlock()
+	if accepted != 0 {
+		t.Fatalf("reply opened %d reverse connections; want 0 (reuse)", accepted)
+	}
+}
+
+// TestTCPLeaveFailsFast: a peer that announced a deliberate shutdown
+// (LEAVE on Close) must make sends fail fast instead of burning the
+// full reconnect backoff budget.
+func TestTCPLeaveFailsFast(t *testing.T) {
+	a, b := newPair(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	// Establish the link in both directions over one conn.
+	if err := a.Send(Message{Kind: KindControl, From: "a", To: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recv(ctx, "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// b processes the LEAVE asynchronously off its read loop.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		l := b.link("a")
+		l.mu.Lock()
+		left := l.left
+		l.mu.Unlock()
+		if left {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("b never observed a's LEAVE")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	start := time.Now()
+	err := b.Send(Message{Kind: KindControl, From: "b", To: "a"})
+	if err == nil || !strings.Contains(err.Error(), "left") {
+		t.Fatalf("send to a departed peer: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("departed-peer send took %v; want fail-fast", elapsed)
+	}
+}
+
+// TestHeaderEstimateMatchesFrameOverhead byte-accounts a real TCP round
+// trip: the per-message framing overhead (everything on the socket
+// beyond the payload) must stay within a handful of bytes of the
+// HeaderEstimate constant the stats layer adds, across realistic name
+// lengths and payload sizes.
+func TestHeaderEstimateMatchesFrameOverhead(t *testing.T) {
+	a, b := newPair(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	msgs := []Message{
+		{Kind: KindStats, From: "device-0", To: "edge-0", Payload: []byte{}},
+		{Kind: KindImportanceSet, From: "device-10", To: "edge-1", Round: 3, Payload: bytes.Repeat([]byte{1}, 1024)},
+		{Kind: KindImportanceDelta, From: "device-7", To: "edge-0", Round: 120, Payload: bytes.Repeat([]byte{2}, 100*1024)},
+		{Kind: KindControl, From: "collector", To: "edge-0", Payload: []byte{9}},
+	}
+	const tolerance = 8 // varint body length + round + real name lengths vs the flat estimate
+	for _, in := range msgs {
+		in.To = "b"
+		var frame bytes.Buffer
+		if err := writeFrame(&frame, in); err != nil {
+			t.Fatal(err)
+		}
+		overhead := frame.Len() - len(in.Payload)
+		if diff := overhead - HeaderEstimate; diff > tolerance || diff < -tolerance {
+			t.Fatalf("%v from %s: frame overhead %d vs HeaderEstimate %d (|diff| > %d)",
+				in.Kind, in.From, overhead, HeaderEstimate, tolerance)
+		}
+		// Round trip over the real socket: the frame must arrive intact
+		// and the stats account it as payload + HeaderEstimate.
+		if err := a.Send(in); err != nil {
+			t.Fatal(err)
+		}
+		got, err := b.Recv(ctx, "b")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Kind != in.Kind || got.Round != in.Round || !bytes.Equal(got.Payload, in.Payload) {
+			t.Fatalf("round trip mismatch for %v", in.Kind)
+		}
+	}
+	var wantBytes int64
+	for _, in := range msgs {
+		wantBytes += int64(len(in.Payload)) + HeaderEstimate
+	}
+	if got := a.Stats().TotalBytes(); got != wantBytes {
+		t.Fatalf("sent stats %d, want %d", got, wantBytes)
+	}
+	if got := b.Stats().TotalReceivedBytes(); got != wantBytes {
+		t.Fatalf("received stats %d, want %d", got, wantBytes)
+	}
+}
+
+// TestFlakyForwardsFullTransport: Flaky must compose with the session
+// API by forwarding the complete Transport surface of whatever it
+// wraps — TCP addressing and peer tables included.
+func TestFlakyForwardsFullTransport(t *testing.T) {
+	inner, err := NewTCP("a", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFlaky(inner, time.Millisecond, 1)
+	var tr Transport = f // compile-time and runtime interface check
+	if tr.Addr() != inner.Addr() {
+		t.Fatalf("Addr %q does not forward inner %q", tr.Addr(), inner.Addr())
+	}
+	if tr.Stats() != inner.Stats() {
+		t.Fatal("Stats does not forward the inner counters")
+	}
+	b, err := NewTCP("b", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	tr.SetPeers(map[string]string{"a": inner.Addr(), "b": b.Addr()})
+	if err := tr.Send(Message{Kind: KindControl, From: "a", To: "b", Payload: []byte("via flaky+tcp")}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	msg, err := b.Recv(ctx, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(msg.Payload) != "via flaky+tcp" {
+		t.Fatalf("payload %q", msg.Payload)
+	}
+	// Close must tear down the wrapped TCP node.
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := inner.Send(Message{Kind: KindControl, From: "a", To: "b"}); err == nil {
+		t.Fatal("inner TCP still alive after Flaky.Close")
+	}
+	// Memory wrapped in Flaky keeps a defined address and counters.
+	mf := NewFlaky(NewMemory(), time.Millisecond, 1)
+	if mf.Addr() == "" || mf.Stats() == nil {
+		t.Fatal("flaky-over-memory lacks transport surface")
+	}
+	mf.SetPeers(nil) // no-op, must not panic
+}

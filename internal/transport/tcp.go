@@ -8,31 +8,66 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
+
+	"acme/internal/wire"
 )
 
-// TCP is a Network over real sockets: every node runs a listener and
-// peers dial each other on demand. Wire format per message:
+// TCP is a Transport over real sockets: every node runs a listener and
+// owns one supervised link per peer. Wire format per message:
 //
-//	varint bodyLen | uint8 kind | varint fromLen | from |
+//	varint bodyLen | uint8 kind | varint round | varint fromLen | from |
 //	varint toLen | to | payload
 //
-// Used by cmd/acmenode to run cloud, edge, and device roles as separate
-// OS processes.
+// Links are session-oriented rather than fire-and-forget: a dialing
+// node opens with a JOIN control frame so the acceptor can reuse the
+// same connection for replies (connection multiplexing instead of one
+// unsupervised socket per direction), a dead connection is evicted and
+// redialed with capped exponential backoff inside Send (delivery
+// resumes after a peer restart), and Close announces a LEAVE so peers
+// fail fast instead of retrying into a deliberate shutdown. Used by
+// cmd/acmenode to run cloud, edge, and device roles as separate OS
+// processes.
 type TCP struct {
 	node  string
 	stats *Stats
 
+	// Reconnect policy for supervised links: on a write or dial error
+	// Send retries with exponential backoff starting at ReconnectBase,
+	// doubling up to ReconnectCap, for at most ReconnectAttempts tries.
+	// Set before first use; the zero value selects the defaults.
+	ReconnectBase     time.Duration
+	ReconnectCap      time.Duration
+	ReconnectAttempts int
+
 	mu       sync.Mutex
 	peers    map[string]string // node name → address
-	conns    map[string]net.Conn
-	inConns  map[net.Conn]struct{} // accepted connections, closed on shutdown
+	links    map[string]*link  // node name → supervised send path
+	inConns  map[net.Conn]struct{}
 	listener net.Listener
 	inbox    chan Message
 	closed   bool
 	wg       sync.WaitGroup
 }
 
-var _ Network = (*TCP)(nil)
+// link is the supervised send path to one peer. Its mutex serializes
+// writes and reconnects; conn is nil between a failure and the redial.
+type link struct {
+	mu   sync.Mutex
+	conn net.Conn
+	// left marks a peer that announced a deliberate shutdown (LEAVE):
+	// sends fail fast instead of burning the backoff budget. A fresh
+	// inbound JOIN from the peer clears it.
+	left bool
+}
+
+var _ Transport = (*TCP)(nil)
+
+const (
+	defaultReconnectBase     = 25 * time.Millisecond
+	defaultReconnectCap      = 500 * time.Millisecond
+	defaultReconnectAttempts = 8
+)
 
 // NewTCP starts a TCP network node listening on addr. peers maps every
 // reachable node name to its address.
@@ -45,7 +80,7 @@ func NewTCP(node, addr string, peers map[string]string) (*TCP, error) {
 		node:     node,
 		stats:    NewStats(),
 		peers:    make(map[string]string, len(peers)),
-		conns:    make(map[string]net.Conn),
+		links:    make(map[string]*link),
 		inConns:  make(map[net.Conn]struct{}),
 		listener: ln,
 		inbox:    make(chan Message, 256),
@@ -102,7 +137,20 @@ func (t *TCP) readLoop(conn net.Conn) {
 		conn.Close()
 		t.mu.Lock()
 		delete(t.inConns, conn)
+		links := make([]*link, 0, len(t.links))
+		for _, l := range t.links {
+			links = append(links, l)
+		}
 		t.mu.Unlock()
+		// If this conn had been adopted as a send path, evict it so the
+		// next Send redials instead of writing into a dead socket.
+		for _, l := range links {
+			l.mu.Lock()
+			if l.conn == conn {
+				l.conn = nil
+			}
+			l.mu.Unlock()
+		}
 	}()
 	r := bufio.NewReader(conn)
 	for {
@@ -116,6 +164,21 @@ func (t *TCP) readLoop(conn net.Conn) {
 		if closed {
 			return
 		}
+		// Link-level control frames (JOIN handshake, LEAVE teardown)
+		// supervise the connection itself and never reach the inbox or
+		// the traffic counters.
+		if msg.Kind == KindControl && msg.To == t.node {
+			if rec, err := wire.DecodeControl(msg.Payload); err == nil {
+				switch rec.Type {
+				case wire.ControlJoin:
+					t.adoptConn(msg.From, conn)
+					continue
+				case wire.ControlLeave:
+					t.peerLeft(msg.From, conn)
+					continue
+				}
+			}
+		}
 		// Received-side accounting happens here, at the socket, so a
 		// node's stats cover its real inbound traffic even though the
 		// sender's Stats object lives in another process.
@@ -124,7 +187,96 @@ func (t *TCP) readLoop(conn net.Conn) {
 	}
 }
 
-// Send implements Network.
+// adoptConn registers an accepted connection as the send path to the
+// peer that announced itself on it — the multiplexing half of link
+// supervision: replies ride the dialer's connection instead of a
+// second socket. A JOIN only arrives when the peer newly dialed us,
+// i.e. the peer believes no usable connection exists; a connection we
+// still cache is then usually stale (a restarted peer whose LEAVE was
+// lost would receive its traffic into a dead socket). Whether to
+// replace it is decided by a deterministic tie-break — the
+// lexicographically smaller dialer wins — so that when both ends
+// redial simultaneously exactly one connection survives instead of
+// each side closing the one the other just adopted (which would turn
+// the next buffered write into silent loss). Device names sort below
+// edge names, so a restarted device (the supported churn direction)
+// always displaces the edge's stale cache.
+func (t *TCP) adoptConn(peer string, conn net.Conn) {
+	l := t.link(peer)
+	l.mu.Lock()
+	if l.conn == nil {
+		l.conn = conn
+	} else if l.conn != conn && peer < t.node {
+		l.conn.Close()
+		l.conn = conn
+	}
+	l.left = false
+	l.mu.Unlock()
+}
+
+// peerLeft marks a peer's deliberate shutdown and drops any send path
+// to it: subsequent Sends fail fast instead of redialing into a closed
+// listener.
+func (t *TCP) peerLeft(peer string, conn net.Conn) {
+	l := t.link(peer)
+	l.mu.Lock()
+	l.left = true
+	if l.conn != nil && l.conn != conn {
+		l.conn.Close()
+	}
+	l.conn = nil
+	l.mu.Unlock()
+}
+
+// link returns (creating if needed) the supervised link for a peer.
+func (t *TCP) link(peer string) *link {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	l, ok := t.links[peer]
+	if !ok {
+		l = &link{}
+		t.links[peer] = l
+	}
+	return l
+}
+
+func (t *TCP) peerAddr(peer string) (string, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	addr, ok := t.peers[peer]
+	if !ok {
+		return "", fmt.Errorf("transport: unknown peer %q", peer)
+	}
+	return addr, nil
+}
+
+func (t *TCP) isClosed() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.closed
+}
+
+func (t *TCP) reconnectPolicy() (base, lim time.Duration, attempts int) {
+	base, lim, attempts = t.ReconnectBase, t.ReconnectCap, t.ReconnectAttempts
+	if base <= 0 {
+		base = defaultReconnectBase
+	}
+	if lim <= 0 {
+		lim = defaultReconnectCap
+	}
+	if attempts <= 0 {
+		attempts = defaultReconnectAttempts
+	}
+	return base, lim, attempts
+}
+
+// Send implements Network. The link to the destination is supervised:
+// a dead cached connection is evicted on write error and redialed with
+// capped exponential backoff, so one peer restart costs a retry rather
+// than poisoning every subsequent Send. Note the TCP write buffer can
+// accept a frame the peer never reads; loss on an ungracefully dying
+// peer surfaces at the protocol layer (straggler cutoff, resync), not
+// here.
 func (t *TCP) Send(msg Message) error {
 	if msg.To == t.node {
 		t.stats.record(msg)
@@ -132,37 +284,91 @@ func (t *TCP) Send(msg Message) error {
 		t.inbox <- msg
 		return nil
 	}
-	conn, err := t.dial(msg.To)
-	if err != nil {
-		return err
-	}
+	l := t.link(msg.To)
 	t.stats.record(msg)
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if err := writeFrame(conn, msg); err != nil {
-		conn.Close()
-		delete(t.conns, msg.To)
-		return fmt.Errorf("transport: send to %s: %w", msg.To, err)
+	base, lim, attempts := t.reconnectPolicy()
+	backoff := base
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if t.isClosed() {
+			return fmt.Errorf("transport: network closed")
+		}
+		if l.left {
+			return fmt.Errorf("transport: peer %s left the session", msg.To)
+		}
+		if l.conn == nil {
+			// A peer missing from the table is a configuration error,
+			// not a transient fault: fail fast instead of backing off.
+			if _, err := t.peerAddr(msg.To); err != nil {
+				return err
+			}
+			conn, err := t.dialLink(msg.To)
+			if err != nil {
+				lastErr = err
+			} else {
+				l.conn = conn
+			}
+		}
+		if l.conn != nil {
+			err := writeFrame(l.conn, msg)
+			if err == nil {
+				return nil
+			}
+			lastErr = err
+			l.conn.Close()
+			l.conn = nil
+		}
+		if attempt+1 < attempts {
+			// Sleep without the link lock: a restarted peer's JOIN
+			// adoption (which is exactly what would make the retry
+			// succeed) and other senders must not stall behind the
+			// backoff.
+			l.mu.Unlock()
+			time.Sleep(backoff)
+			l.mu.Lock()
+			if backoff *= 2; backoff > lim {
+				backoff = lim
+			}
+		}
 	}
-	return nil
+	return fmt.Errorf("transport: send to %s: %w", msg.To, lastErr)
 }
 
-func (t *TCP) dial(node string) (net.Conn, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if c, ok := t.conns[node]; ok {
-		return c, nil
-	}
-	addr, ok := t.peers[node]
-	if !ok {
-		return nil, fmt.Errorf("transport: unknown peer %q", node)
-	}
-	c, err := net.Dial("tcp", addr)
+// dialLink opens a fresh connection to a peer and performs the JOIN
+// handshake so the acceptor can multiplex replies onto it.
+func (t *TCP) dialLink(peer string) (net.Conn, error) {
+	addr, err := t.peerAddr(peer)
 	if err != nil {
-		return nil, fmt.Errorf("transport: dial %s@%s: %w", node, addr, err)
+		return nil, err
 	}
-	t.conns[node] = c
-	return c, nil
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s@%s: %w", peer, addr, err)
+	}
+	join, err := wire.EncodeControl(wire.ControlRecord{Type: wire.ControlJoin, Node: t.node})
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := writeFrame(conn, Message{Kind: KindControl, From: t.node, To: peer, Payload: join}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("transport: join %s: %w", peer, err)
+	}
+	// The peer may multiplex its replies onto this connection instead
+	// of dialing back, so the dialer reads it too.
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		conn.Close()
+		return nil, fmt.Errorf("transport: network closed")
+	}
+	t.wg.Add(1)
+	t.mu.Unlock()
+	go t.readLoop(conn)
+	return conn, nil
 }
 
 // Recv implements Network. The node argument must be this node's name.
@@ -179,7 +385,9 @@ func (t *TCP) Recv(ctx context.Context, node string) (Message, error) {
 }
 
 // Close shuts the listener and all connections down and waits for the
-// reader goroutines to exit.
+// reader goroutines to exit. A LEAVE record is written best-effort on
+// every live outbound link first, so peers stop reconnecting into a
+// deliberate shutdown.
 func (t *TCP) Close() error {
 	t.mu.Lock()
 	if t.closed {
@@ -188,15 +396,29 @@ func (t *TCP) Close() error {
 	}
 	t.closed = true
 	err := t.listener.Close()
-	for _, c := range t.conns {
-		c.Close()
-	}
-	t.conns = make(map[string]net.Conn)
-	// Close accepted connections too, so their readLoops unblock.
+	links := t.links
+	t.links = make(map[string]*link)
+	inConns := make([]net.Conn, 0, len(t.inConns))
 	for c := range t.inConns {
-		c.Close()
+		inConns = append(inConns, c)
 	}
 	t.mu.Unlock()
+
+	leave, _ := wire.EncodeControl(wire.ControlRecord{Type: wire.ControlLeave, Node: t.node})
+	for peer, l := range links {
+		l.mu.Lock()
+		if l.conn != nil {
+			l.conn.SetWriteDeadline(time.Now().Add(100 * time.Millisecond))
+			_ = writeFrame(l.conn, Message{Kind: KindControl, From: t.node, To: peer, Payload: leave})
+			l.conn.Close()
+			l.conn = nil
+		}
+		l.mu.Unlock()
+	}
+	// Close accepted connections too, so their readLoops unblock.
+	for _, c := range inConns {
+		c.Close()
+	}
 	// Drain the inbox so readLoops blocked on send can observe closure.
 	go func() {
 		for range t.inbox {
@@ -230,16 +452,21 @@ func uvarintLen(x uint64) int {
 
 // writeFrame emits one varint-framed message:
 //
-//	varint bodyLen | uint8 kind | varint fromLen | from |
+//	varint bodyLen | uint8 kind | varint round | varint fromLen | from |
 //	varint toLen | to | payload
+//
+// Round travels zigzag-free as a uvarint: loop rounds are never
+// negative.
 func writeFrame(w io.Writer, msg Message) error {
 	bodyLen := 1 +
+		uvarintLen(uint64(msg.Round)) +
 		uvarintLen(uint64(len(msg.From))) + len(msg.From) +
 		uvarintLen(uint64(len(msg.To))) + len(msg.To) +
 		len(msg.Payload)
 	f := framePool.Get().(*frameBuf)
 	b := binary.AppendUvarint(f.b[:0], uint64(bodyLen))
 	b = append(b, byte(msg.Kind))
+	b = binary.AppendUvarint(b, uint64(msg.Round))
 	b = binary.AppendUvarint(b, uint64(len(msg.From)))
 	b = append(b, msg.From...)
 	b = binary.AppendUvarint(b, uint64(len(msg.To)))
@@ -270,11 +497,17 @@ func readFrame(r frameReader) (Message, error) {
 	if _, err := io.ReadFull(r, body); err != nil {
 		return Message{}, err
 	}
-	if len(body) < 3 {
+	if len(body) < 4 {
 		return Message{}, fmt.Errorf("transport: short frame")
 	}
 	msg := Message{Kind: Kind(body[0])}
 	off := 1
+	round, rn := binary.Uvarint(body[off:])
+	if rn <= 0 || round > uint64(maxFrame) {
+		return Message{}, fmt.Errorf("transport: bad round varint")
+	}
+	msg.Round = int(round)
+	off += rn
 	from, off, err := frameString(body, off)
 	if err != nil {
 		return Message{}, fmt.Errorf("transport: bad from field: %w", err)

@@ -132,7 +132,7 @@ func TestTCPCloseIdempotentAndUnblocksReaders(t *testing.T) {
 
 func TestFrameRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
-	in := Message{Kind: KindImportanceSet, From: "dev", To: "edge", Payload: []byte{1, 2, 3}}
+	in := Message{Kind: KindImportanceSet, From: "dev", To: "edge", Round: 7, Payload: []byte{1, 2, 3}}
 	if err := writeFrame(&buf, in); err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +140,7 @@ func TestFrameRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out.Kind != in.Kind || out.From != in.From || out.To != in.To || !bytes.Equal(out.Payload, in.Payload) {
+	if out.Kind != in.Kind || out.From != in.From || out.To != in.To || out.Round != in.Round || !bytes.Equal(out.Payload, in.Payload) {
 		t.Fatalf("frame mismatch: %+v", out)
 	}
 }

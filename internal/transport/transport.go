@@ -63,9 +63,13 @@ func (k Kind) String() string {
 
 // Message is one protocol datagram.
 type Message struct {
-	Kind    Kind
-	From    string
-	To      string
+	Kind Kind
+	From string
+	To   string
+	// Round scopes loop traffic to a Phase 2-2 round so the session
+	// layer can tell a live upload from a straggler's stale one without
+	// decoding the payload. Non-loop traffic leaves it 0.
+	Round   int
 	Payload []byte
 	// Raw is the logical in-memory size of the payload before
 	// encoding (see wire.RawSize). It is sender-side accounting only
@@ -90,6 +94,25 @@ type Network interface {
 	// Recv blocks until a message addressed to node arrives or ctx is
 	// done.
 	Recv(ctx context.Context, node string) (Message, error)
+}
+
+// Transport is the full substrate contract the session layer and
+// multi-process deployments rely on: message movement plus peer-table
+// rebinding (late-bound addresses on TCP; a no-op in memory),
+// addressing, traffic accounting, and lifecycle shutdown. Memory, TCP,
+// and Flaky all implement it, so the session API composes with any of
+// them — including Flaky wrapped around TCP.
+type Transport interface {
+	Network
+	// SetPeers replaces the node name → address table.
+	SetPeers(peers map[string]string)
+	// Addr returns the transport's reachable address for this node
+	// ("memory" for the in-process network).
+	Addr() string
+	// Stats exposes the traffic counters.
+	Stats() *Stats
+	// Close tears the transport down. Further Sends fail.
+	Close() error
 }
 
 // HeaderEstimate is the fixed per-message framing overhead added to
@@ -328,7 +351,7 @@ type Memory struct {
 	closed bool
 }
 
-var _ Network = (*Memory)(nil)
+var _ Transport = (*Memory)(nil)
 
 // NewMemory returns an empty in-memory network.
 func NewMemory() *Memory {
@@ -340,6 +363,23 @@ func NewMemory() *Memory {
 
 // Stats exposes the traffic counters.
 func (m *Memory) Stats() *Stats { return m.stats }
+
+// SetPeers implements Transport. The in-memory network has no
+// addresses, so the peer table is ignored.
+func (m *Memory) SetPeers(map[string]string) {}
+
+// Addr implements Transport.
+func (m *Memory) Addr() string { return "memory" }
+
+// Close implements Transport: subsequent Sends fail. Receivers blocked
+// in Recv are left to their contexts, matching a closed socket whose
+// reader times out rather than observing the close directly.
+func (m *Memory) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	return nil
+}
 
 // Register creates the inbox for a node. Registering twice is a no-op.
 func (m *Memory) Register(node string, buffer int) {

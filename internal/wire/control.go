@@ -1,0 +1,99 @@
+package wire
+
+import "fmt"
+
+// ControlType enumerates the session control-plane verbs carried over
+// the transport's KindControl channel. The control plane is what makes
+// churn, stragglers, and reconnects first-class in the protocol:
+// JOIN/LEAVE supervise the link itself, RESYNC-REQUEST re-enters a
+// churned device into the delta exchange, and ROUND-CUTOFF tells a
+// straggler its upload missed the quorum combine.
+type ControlType uint8
+
+// Control-plane record types.
+const (
+	// ControlJoin announces a live link. On TCP it is the handshake a
+	// dialing node sends first on a fresh connection, letting the
+	// acceptor reuse that connection for replies instead of dialing
+	// back (connection multiplexing).
+	ControlJoin ControlType = iota + 1
+	// ControlLeave announces a deliberate teardown: the peer is going
+	// away and reconnect attempts are pointless. Sent best-effort on
+	// Close and consumed by the TCP link layer (peers fail fast). An
+	// edge that does see one at role level (in-memory transports, or a
+	// future membership protocol) drops the device from the remaining
+	// rounds — today that path is defensive, not load-bearing.
+	ControlLeave
+	// ControlResyncRequest is sent by a device that missed rounds
+	// (killed and restarted, or partitioned): it asks its edge for a
+	// dense re-seed — the model package plus a rejoin round — so it can
+	// re-enter the sparse exchange without restarting the run.
+	ControlResyncRequest
+	// ControlRoundCutoff is sent by an edge to a device whose upload
+	// missed the straggler deadline: the round was combined without it
+	// and both ends must drop their delta shadows (the device's next
+	// upload travels dense). Done marks the final round, ending the
+	// device's loop.
+	ControlRoundCutoff
+)
+
+// String implements fmt.Stringer.
+func (t ControlType) String() string {
+	switch t {
+	case ControlJoin:
+		return "join"
+	case ControlLeave:
+		return "leave"
+	case ControlResyncRequest:
+		return "resync-request"
+	case ControlRoundCutoff:
+		return "round-cutoff"
+	default:
+		return fmt.Sprintf("ControlType(%d)", uint8(t))
+	}
+}
+
+// Valid reports whether t is a known control verb.
+func (t ControlType) Valid() bool {
+	return t >= ControlJoin && t <= ControlRoundCutoff
+}
+
+// ControlRecord is the typed payload of every control-plane message.
+// Control records always travel in this package's binary encoding
+// regardless of the run's configured payload codec: they are owned by
+// the transport layer, which has no knowledge of the application codec.
+type ControlRecord struct {
+	Type ControlType
+	// Node is the sender's node name (link-level records).
+	Node string
+	// Device is the device ID the record concerns (resync, cutoff).
+	Device int
+	// Round is the loop round the record refers to: the round a
+	// cutoff combined without the device, or unset for link records.
+	Round int
+	// Done marks a ROUND-CUTOFF for the final round: the loop ended
+	// and the device should finalize instead of rejoining next round.
+	Done bool
+}
+
+// EncodeControl serializes a control record.
+func EncodeControl(rec ControlRecord) ([]byte, error) {
+	if !rec.Type.Valid() {
+		return nil, fmt.Errorf("wire: cannot encode control record of unknown type %d", uint8(rec.Type))
+	}
+	return Encode(rec)
+}
+
+// DecodeControl deserializes a control record, rejecting unknown verbs
+// so a byzantine control payload surfaces as an error rather than an
+// unhandled zero record.
+func DecodeControl(data []byte) (ControlRecord, error) {
+	var rec ControlRecord
+	if err := Decode(data, &rec); err != nil {
+		return ControlRecord{}, err
+	}
+	if !rec.Type.Valid() {
+		return ControlRecord{}, fmt.Errorf("wire: control record with unknown type %d", uint8(rec.Type))
+	}
+	return rec, nil
+}

@@ -70,6 +70,12 @@ func FuzzDecode(f *testing.F) {
 		downlinkDelta{Round: 1, Layers: []deltaLayer{
 			{Mode: 2, Delta: DeltaLayer{N: 5, Elem: 1, Mask: []byte{0xfe}, Changed: []byte{3}}},
 		}},
+		// The session control plane: every verb, including the loop
+		// records that carry rounds and the Done end-of-loop marker.
+		ControlRecord{Type: ControlJoin, Node: "device-2"},
+		ControlRecord{Type: ControlLeave, Node: "edge-0"},
+		ControlRecord{Type: ControlResyncRequest, Node: "device-1", Device: 1, Round: 3},
+		ControlRecord{Type: ControlRoundCutoff, Device: 5, Round: 2, Done: true},
 		[]float64{1, 2, 3},
 		map[string]int{"a": 1},
 	}
@@ -95,6 +101,7 @@ func FuzzDecode(f *testing.F) {
 		func() any { return &upload{} },
 		func() any { return &deltaUpload{} },
 		func() any { return &downlinkDelta{} },
+		func() any { return &ControlRecord{} },
 		func() any { return new([]float64) },
 		func() any { return new(map[string]int) },
 		func() any { return new(string) },
