@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-json3 bench-json4 bench-compare churn-smoke fuzz fmt fmt-check vet ci
+.PHONY: all build test race bench bench-json bench-json3 bench-json4 bench-json5 bench-compare churn-smoke fleet-smoke fuzz fmt fmt-check vet ci
 
 all: build test
 
@@ -18,11 +18,16 @@ race:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./internal/tensor ./internal/wire ./internal/core ./internal/aggregate ./internal/importance
 
-# bench-json regenerates BENCH_5.json: the straggler-cutoff
-# trajectory — per-round edge gather wait with an artificially slowed
-# device, quorum+deadline cutoff vs wait-for-all — plus the BENCH_4
-# continuity configs (dense/delta wire bytes on the default scenario).
+# bench-json regenerates BENCH_6.json: the fleet-sampling trajectory —
+# a calibration fleet at full participation vs a 10× fleet at
+# -sample-frac 0.1, with per-round gather bytes/wall compared against
+# the full-participation extrapolation — plus the BENCH_5 continuity
+# configs (dense/delta wire bytes, sampling off, byte-identical).
 bench-json:
+	$(GO) run ./cmd/acmebench -exp bench6 -bench6json BENCH_6.json
+
+# bench-json5 regenerates the PR 5 straggler-cutoff trajectory.
+bench-json5:
 	$(GO) run ./cmd/acmebench -exp bench5 -bench5json BENCH_5.json
 
 # bench-json3 regenerates the PR 3 trajectory (uplink only).
@@ -44,6 +49,12 @@ bench-compare:
 churn-smoke:
 	$(GO) test -run 'TestChurnRejoinTCP' -count=1 -v ./internal/core
 
+# fleet-smoke runs a 2000-device fleet (8 edges × 250 devices, shared
+# read-only data shards) in one process at -sample-frac 0.05, asserting
+# every round invites exactly the sampled count and all devices report.
+fleet-smoke:
+	$(GO) test -run 'TestFleetSmoke' -count=1 -v ./internal/core
+
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=20s ./internal/wire
 	$(GO) test -run='^$$' -fuzz=FuzzReadFrame -fuzztime=20s ./internal/transport
@@ -59,4 +70,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: fmt-check vet build test race bench bench-compare churn-smoke
+ci: fmt-check vet build test race bench bench-compare churn-smoke fleet-smoke

@@ -34,12 +34,34 @@ import (
 
 	"acme/internal/core"
 	"acme/internal/data"
+	"acme/internal/fleet"
 	"acme/internal/transport"
 )
 
 // Config assembles every knob of a full ACME run. See core.Config for
 // field documentation.
 type Config = core.Config
+
+// WireOptions groups the payload-shaping knobs (Config.Wire): codec,
+// quantization, and the delta/top-k sparsification schemes.
+type WireOptions = core.WireOptions
+
+// StragglerPolicy groups the round-scoped straggler cutoff and the
+// deterministic slow-device injection (Config.Straggler).
+type StragglerPolicy = core.StragglerPolicy
+
+// FleetOptions groups the fleet topology and the per-round
+// participation sampling (Config.Fleet).
+type FleetOptions = core.FleetOptions
+
+// FleetMember is one registered device in a session's membership
+// registry: liveness, epoch of the last change, and per-round traffic
+// history.
+type FleetMember = fleet.Member
+
+// FleetRegistry is the epoch-stamped membership registry the session
+// control plane feeds and the edges sample participation subsets from.
+type FleetRegistry = fleet.Registry
 
 // Result aggregates the outcome of one run: per-device reports,
 // backbone assignments, and measured traffic.
@@ -63,10 +85,10 @@ const (
 )
 
 // QuantMode selects the wire precision of model-parameter and
-// importance payloads (Config.Quantization).
+// importance payloads (Config.Wire.Quantization).
 type QuantMode = core.QuantMode
 
-// Quantization modes for Config.Quantization.
+// Quantization modes for Config.Wire.Quantization.
 const (
 	QuantLossless = core.QuantLossless // exact payloads (default)
 	QuantFloat16  = core.QuantFloat16  // IEEE half precision, 4× smaller params

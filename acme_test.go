@@ -12,7 +12,7 @@ import (
 // smallConfig is a fast end-to-end configuration for facade tests.
 func smallConfig() Config {
 	cfg := experiments.MicroConfig()
-	cfg.Fleet.DevicesPerCluster = 2
+	cfg.Fleet.Spec.DevicesPerCluster = 2
 	cfg.SamplesPerDevice = 60
 	cfg.Phase2Rounds = 1
 	return cfg

@@ -249,7 +249,7 @@ func BenchmarkAblationTopKSparsification(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		run := func(topk float64) int64 {
 			cfg := experiments.MicroConfig()
-			cfg.TopKFraction = topk
+			cfg.Wire.TopKFraction = topk
 			sys, err := NewSystem(cfg)
 			if err != nil {
 				b.Fatal(err)

@@ -40,6 +40,7 @@ func run() error {
 	benchJSON := flag.String("benchjson", "BENCH_3.json", "output path for the bench3 trajectory JSON (bench3 pins its own dense/delta × lossless/mixed variants; -wire/-quant/-delta do not apply to it)")
 	bench4JSON := flag.String("bench4json", "BENCH_4.json", "output path for the bench4 symmetric-exchange JSON (bench4 pins its own memory/TCP × dense/delta variants)")
 	bench5JSON := flag.String("bench5json", "BENCH_5.json", "output path for the bench5 straggler-cutoff JSON (bench5 pins its own wait/cutoff variants)")
+	bench6JSON := flag.String("bench6json", "BENCH_6.json", "output path for the bench6 fleet-sampling JSON (bench6 pins its own full/sampled fleet variants)")
 	flag.Parse()
 	tensor.SetParallelism(*parallel)
 	qm, err := core.ParseQuantMode(*quant)
@@ -79,12 +80,13 @@ func run() error {
 		{"bench3", func() (*experiments.Table, error) { return experiments.Bench3JSON(*benchJSON) }},
 		{"bench4", func() (*experiments.Table, error) { return experiments.Bench4JSON(*bench4JSON) }},
 		{"bench5", func() (*experiments.Table, error) { return experiments.Bench5JSON(*bench5JSON) }},
+		{"bench6", func() (*experiments.Table, error) { return experiments.Bench6JSON(*bench6JSON) }},
 	}
-	// bench3/bench4/bench5 rewrite the checked-in BENCH_N.json files
-	// and add several full system runs each, so they never ride along
-	// with -exp all — they only run when named explicitly (as make
-	// bench-json does).
-	explicitOnly := map[string]bool{"bench3": true, "bench4": true, "bench5": true}
+	// bench3/bench4/bench5/bench6 rewrite the checked-in BENCH_N.json
+	// files and add several full system runs each, so they never ride
+	// along with -exp all — they only run when named explicitly (as
+	// make bench-json does).
+	explicitOnly := map[string]bool{"bench3": true, "bench4": true, "bench5": true, "bench6": true}
 
 	want := map[string]bool{}
 	all := *exp == "all"

@@ -49,6 +49,9 @@ func run() error {
 	quorum := flag.Float64("quorum", 0, "straggler quorum fraction in (0,1) for edge rounds (identical across processes)")
 	cutoff := flag.Duration("cutoff", 0, "straggler deadline per aggregation round (set together with -quorum)")
 	straggle := flag.Duration("straggle", 0, "artificially delay device 0's upload by this much every round (identical across processes; pairs with -quorum/-cutoff)")
+	sampleFrac := flag.Float64("sample-frac", 0, "per-round participation fraction in (0,1) (identical across processes)")
+	sampleSeed := flag.Int64("sample-seed", 0, "participation sampling seed, 0 = derive from -seed (identical across processes)")
+	sharedShards := flag.Bool("shared-shards", false, "share one training shard per data group across its devices (identical across processes)")
 	rejoin := flag.Bool("rejoin", false, "device roles only: rejoin a run already in progress via a dense resync instead of the setup handshake")
 	flag.Parse()
 
@@ -66,25 +69,28 @@ func run() error {
 
 	cfg := acme.DefaultConfig()
 	cfg.EdgeServers = *edges
-	cfg.Fleet.Clusters = *edges
-	cfg.Fleet.DevicesPerCluster = *devices
+	cfg.Fleet.Spec.Clusters = *edges
+	cfg.Fleet.Spec.DevicesPerCluster = *devices
 	cfg.SamplesPerDevice = *samples
 	cfg.Phase2Rounds = *rounds
 	cfg.Seed = *seed
-	cfg.WireFormat = *wireName
+	cfg.Wire.Format = *wireName
 	qm, err := acme.ParseQuantMode(*quant)
 	if err != nil {
 		return err
 	}
-	cfg.Quantization = qm
-	cfg.DeltaImportance = *delta
+	cfg.Wire.Quantization = qm
+	cfg.Wire.DeltaImportance = *delta
 	cfg.ImportanceRefreshPeriod = *refresh
-	cfg.StragglerQuorum = *quorum
-	cfg.StragglerDeadline = *cutoff
+	cfg.Straggler.Quorum = *quorum
+	cfg.Straggler.Deadline = *cutoff
 	if *straggle > 0 {
-		cfg.SlowDeviceID = 0
-		cfg.SlowDeviceDelay = *straggle
+		cfg.Straggler.SlowDeviceID = 0
+		cfg.Straggler.SlowDeviceDelay = *straggle
 	}
+	cfg.Fleet.SampleFrac = *sampleFrac
+	cfg.Fleet.SampleSeed = *sampleSeed
+	cfg.Fleet.SharedShards = *sharedShards
 
 	net, err := transport.NewTCP(*role, *listen, peerMap)
 	if err != nil {

@@ -42,6 +42,9 @@ func run() error {
 	quorum := flag.Float64("quorum", 0, "straggler quorum fraction in (0,1): combine a round once this share of uploads arrived and -cutoff elapsed (0 = wait for every device)")
 	cutoff := flag.Duration("cutoff", 0, "straggler deadline per aggregation round (set together with -quorum)")
 	straggle := flag.Duration("straggle", 0, "artificially delay device 0's upload by this much every round (a deterministic straggler for -quorum/-cutoff demos)")
+	sampleFrac := flag.Float64("sample-frac", 0, "per-round participation fraction in (0,1): each round every edge invites only a seeded sample of its live devices (0 = full participation)")
+	sampleSeed := flag.Int64("sample-seed", 0, "participation sampling seed (0 = derive from -seed)")
+	sharedShards := flag.Bool("shared-shards", false, "share one training shard per data group across its devices (memory scaling for thousands of simulated devices)")
 	flag.Parse()
 
 	cfg := acme.DefaultConfig()
@@ -57,26 +60,29 @@ func run() error {
 		return fmt.Errorf("unknown dataset %q", *dataset)
 	}
 	cfg.EdgeServers = *edges
-	cfg.Fleet.Clusters = *edges
-	cfg.Fleet.DevicesPerCluster = *devices
+	cfg.Fleet.Spec.Clusters = *edges
+	cfg.Fleet.Spec.DevicesPerCluster = *devices
 	cfg.SamplesPerDevice = *samples
 	cfg.Phase2Rounds = *rounds
 	cfg.Seed = *seed
 	cfg.Parallelism = *parallel
-	cfg.WireFormat = *wireName
+	cfg.Wire.Format = *wireName
 	qm, err := acme.ParseQuantMode(*quant)
 	if err != nil {
 		return err
 	}
-	cfg.Quantization = qm
-	cfg.DeltaImportance = *delta
+	cfg.Wire.Quantization = qm
+	cfg.Wire.DeltaImportance = *delta
 	cfg.ImportanceRefreshPeriod = *refresh
-	cfg.StragglerQuorum = *quorum
-	cfg.StragglerDeadline = *cutoff
+	cfg.Straggler.Quorum = *quorum
+	cfg.Straggler.Deadline = *cutoff
 	if *straggle > 0 {
-		cfg.SlowDeviceID = 0
-		cfg.SlowDeviceDelay = *straggle
+		cfg.Straggler.SlowDeviceID = 0
+		cfg.Straggler.SlowDeviceDelay = *straggle
 	}
+	cfg.Fleet.SampleFrac = *sampleFrac
+	cfg.Fleet.SampleSeed = *sampleSeed
+	cfg.Fleet.SharedShards = *sharedShards
 
 	switch *level {
 	case "IID":

@@ -17,8 +17,8 @@ import (
 func main() {
 	cfg := acme.DefaultConfig()
 	cfg.EdgeServers = 3
-	cfg.Fleet.Clusters = 3
-	cfg.Fleet.DevicesPerCluster = 2
+	cfg.Fleet.Spec.Clusters = 3
+	cfg.Fleet.Spec.DevicesPerCluster = 2
 	cfg.SamplesPerDevice = 100
 	// Storage ladder as fractions of the reference model's parameter
 	// count: the first cluster can barely hold a third of the model.

@@ -28,8 +28,8 @@ func main() {
 	for _, m := range methods {
 		cfg := acme.DefaultConfig()
 		cfg.EdgeServers = 1
-		cfg.Fleet.Clusters = 1
-		cfg.Fleet.DevicesPerCluster = 4
+		cfg.Fleet.Spec.Clusters = 1
+		cfg.Fleet.Spec.DevicesPerCluster = 4
 		// Starved devices and aggressive per-round pruning, so the
 		// choice of aggregation weights actually changes which header
 		// units survive.

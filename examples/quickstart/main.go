@@ -15,8 +15,8 @@ import "acme"
 func main() {
 	cfg := acme.DefaultConfig()
 	cfg.EdgeServers = 2
-	cfg.Fleet.Clusters = 2
-	cfg.Fleet.DevicesPerCluster = 2
+	cfg.Fleet.Spec.Clusters = 2
+	cfg.Fleet.Spec.DevicesPerCluster = 2
 	cfg.SamplesPerDevice = 120
 
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)

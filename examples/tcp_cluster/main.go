@@ -29,19 +29,19 @@ import (
 func main() {
 	cfg := acme.DefaultConfig()
 	cfg.EdgeServers = 1
-	cfg.Fleet.Clusters = 1
-	cfg.Fleet.DevicesPerCluster = 2
+	cfg.Fleet.Spec.Clusters = 1
+	cfg.Fleet.Spec.DevicesPerCluster = 2
 	cfg.SamplesPerDevice = 80
 	cfg.Phase2Rounds = 1
 	// The compact binary wire format is the default; set it explicitly
 	// here because every process of a TCP deployment must agree on it.
-	cfg.WireFormat = "binary"
-	cfg.Quantization = acme.QuantLossless
+	cfg.Wire.Format = "binary"
+	cfg.Wire.Quantization = acme.QuantLossless
 	// Churn tolerance: combine once 50% of a cluster uploaded and 5s
 	// passed — far above a healthy round, so results are untouched, but
 	// a wedged device could no longer stall the loop forever.
-	cfg.StragglerQuorum = 0.5
-	cfg.StragglerDeadline = 5 * time.Second
+	cfg.Straggler.Quorum = 0.5
+	cfg.Straggler.Deadline = 5 * time.Second
 
 	// Build one system just to enumerate the roles.
 	probe, err := acme.NewSystem(cfg)

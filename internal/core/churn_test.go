@@ -40,10 +40,10 @@ func slowDeviceInLargestCluster(t *testing.T, cfg Config) (deviceID, edgeID int)
 func TestStragglerCutoffMemory(t *testing.T) {
 	base := tinyConfig()
 	base.Phase2Rounds = 3
-	base.DeltaImportance = true // the cutoff must keep the delta shadows coherent
+	base.Wire.DeltaImportance = true // the cutoff must keep the delta shadows coherent
 	slowID, slowEdge := slowDeviceInLargestCluster(t, base)
-	base.SlowDeviceID = slowID
-	base.SlowDeviceDelay = 300 * time.Millisecond
+	base.Straggler.SlowDeviceID = slowID
+	base.Straggler.SlowDeviceDelay = 300 * time.Millisecond
 
 	gatherWall := func(res *Result) (slow time.Duration) {
 		for _, rs := range res.Phase2Rounds {
@@ -72,8 +72,8 @@ func TestStragglerCutoffMemory(t *testing.T) {
 	baseline := run(base)
 
 	cutCfg := base
-	cutCfg.StragglerQuorum = 0.5
-	cutCfg.StragglerDeadline = 75 * time.Millisecond
+	cutCfg.Straggler.Quorum = 0.5
+	cutCfg.Straggler.Deadline = 75 * time.Millisecond
 	cut := run(cutCfg)
 
 	if len(cut.Reports) != len(baseline.Reports) {
@@ -106,21 +106,21 @@ func TestStragglerCutoffMemory(t *testing.T) {
 // deadline come together or not at all.
 func TestCutoffDisabledValidation(t *testing.T) {
 	cfg := tinyConfig()
-	cfg.StragglerQuorum = 0.75
+	cfg.Straggler.Quorum = 0.75
 	if err := cfg.Validate(); err == nil {
 		t.Fatal("quorum without deadline accepted")
 	}
-	cfg.StragglerQuorum = 0
-	cfg.StragglerDeadline = time.Second
+	cfg.Straggler.Quorum = 0
+	cfg.Straggler.Deadline = time.Second
 	if err := cfg.Validate(); err == nil {
 		t.Fatal("deadline without quorum accepted")
 	}
-	cfg.StragglerQuorum = 1.5
+	cfg.Straggler.Quorum = 1.5
 	if err := cfg.Validate(); err == nil {
 		t.Fatal("quorum above 1 accepted")
 	}
-	cfg.StragglerQuorum = 0.75
-	cfg.StragglerDeadline = time.Second
+	cfg.Straggler.Quorum = 0.75
+	cfg.Straggler.Deadline = time.Second
 	if err := cfg.Validate(); err != nil {
 		t.Fatalf("valid cutoff config rejected: %v", err)
 	}
@@ -159,9 +159,9 @@ func TestChurnRejoinTCP(t *testing.T) {
 	}
 	cfg := tinyConfig()
 	cfg.Phase2Rounds = 4
-	cfg.DeltaImportance = true
-	cfg.StragglerQuorum = 0.5
-	cfg.StragglerDeadline = 250 * time.Millisecond
+	cfg.Wire.DeltaImportance = true
+	cfg.Straggler.Quorum = 0.5
+	cfg.Straggler.Deadline = 250 * time.Millisecond
 	runChurnRejoinTCP(t, cfg)
 }
 
@@ -176,7 +176,7 @@ func TestChurnRejoinTCPNoCutoff(t *testing.T) {
 	}
 	cfg := tinyConfig()
 	cfg.Phase2Rounds = 4
-	cfg.DeltaImportance = true
+	cfg.Wire.DeltaImportance = true
 	runChurnRejoinTCP(t, cfg)
 }
 

@@ -19,6 +19,140 @@ import (
 	"acme/internal/transport"
 )
 
+// WireOptions groups the knobs that shape protocol payloads on the
+// wire: codec, quantization, and the two sparsification schemes. They
+// change measured traffic, never seeded results (lossless settings are
+// bitwise-identical across all of them).
+type WireOptions struct {
+	// Format selects the payload codec for protocol messages: "binary"
+	// (default — compact pooled wire codec, what Table I's traffic
+	// numbers measure) or "gob" (legacy, kept for compatibility runs).
+	// In TCP mode every process must agree.
+	Format string
+	// Quantization selects the precision of parameter and importance
+	// payloads. Lossless (default) reproduces bitwise-identical
+	// results across codecs; QuantFloat16/QuantInt8 deterministically
+	// compress model traffic 4×/8× at bounded precision cost, and
+	// QuantMixed picks float16 or int8 per layer from the measured
+	// quantization error of the payload itself.
+	Quantization QuantMode
+	// DeltaImportance makes the Phase 2-2 exchange symmetric and
+	// sparse: devices upload round-t importance sets as deltas against
+	// round t−1 (KindImportanceDelta), and the edge sends each device's
+	// personalized set as a delta against its previous downlink
+	// (KindImportanceDownDelta). Both directions carry a per-layer
+	// changed-index bitmask plus the packed values at changed positions,
+	// with a dense per-layer fallback when the delta would not be
+	// smaller. Reconstruction is bitwise-exact, so seeded Results are
+	// identical with the flag on or off; only the measured traffic
+	// changes. The uplink half is ignored when TopKFraction
+	// sparsification is active (the legacy top-k payload already is a
+	// sparse form); the downlink half applies regardless.
+	DeltaImportance bool
+	// TopKFraction sparsifies device importance uploads to the top
+	// fraction of entries by magnitude (0 or ≥1 sends dense sets). Low-
+	// importance entries only matter near the discard threshold, so
+	// moderate sparsification trades negligible fidelity for uplink
+	// bandwidth.
+	TopKFraction float64
+}
+
+// Validate reports wire-option errors.
+func (w WireOptions) Validate() error {
+	if !w.Quantization.Valid() {
+		return fmt.Errorf("core: unknown quantization mode %d", int(w.Quantization))
+	}
+	if _, err := transport.CodecByName(w.Format); err != nil {
+		return err
+	}
+	return nil
+}
+
+// StragglerPolicy groups the round-scoped straggler cutoff and the
+// deterministic slow-device injection used to exercise it.
+type StragglerPolicy struct {
+	// Quorum and Deadline enable the round-scoped straggler cutoff:
+	// once a ceil(Quorum × cluster size) fraction of a round's
+	// importance uploads has arrived and Deadline has elapsed since the
+	// edge started gathering, the edge combines without the stragglers
+	// (similarity weights renormalized over the present devices),
+	// invalidates the cut devices' delta shadows, and sends each one a
+	// ROUND-CUTOFF control record instead of a personalized set — so
+	// the loop stops pacing at the slowest device. Both zero (the
+	// default) waits for every device, which keeps seeded Results
+	// bitwise identical to the pre-session protocol. Quorum is a
+	// fraction in (0,1); the two must be set together.
+	Quorum   float64
+	Deadline time.Duration
+	// SlowDeviceDelay artificially delays one device's importance
+	// upload by this much every round (the device whose ID is
+	// SlowDeviceID) — a deterministic straggler for benchmarks and
+	// cutoff tests. 0 disables the injection.
+	SlowDeviceID    int
+	SlowDeviceDelay time.Duration
+}
+
+// Enabled reports whether the cutoff is configured (quorum fraction in
+// (0,1) plus a positive deadline).
+func (p StragglerPolicy) Enabled() bool {
+	return p.Quorum > 0 && p.Quorum < 1 && p.Deadline > 0
+}
+
+// Validate reports straggler-policy errors.
+func (p StragglerPolicy) Validate() error {
+	switch {
+	case p.Quorum != 0 && (p.Quorum < 0 || p.Quorum >= 1):
+		return fmt.Errorf("core: straggler quorum %v outside (0,1)", p.Quorum)
+	case p.Deadline < 0:
+		return fmt.Errorf("core: negative straggler deadline %v", p.Deadline)
+	case (p.Quorum > 0) != (p.Deadline > 0):
+		return fmt.Errorf("core: straggler quorum and deadline must be set together (-quorum %v, -cutoff %v)",
+			p.Quorum, p.Deadline)
+	case p.SlowDeviceDelay < 0:
+		return fmt.Errorf("core: negative slow-device delay %v", p.SlowDeviceDelay)
+	}
+	return nil
+}
+
+// FleetOptions groups the fleet topology and the per-round
+// participation sampling that makes large fleets affordable: each
+// Phase 2-2 round invites only a sampled subset of the live membership,
+// so per-round traffic and wall time scale with the sampled count
+// rather than the fleet size.
+type FleetOptions struct {
+	// Spec is the fleet topology (clusters × devices per cluster).
+	Spec cluster.FleetSpec
+	// SampleFrac is the per-round participation fraction in (0,1): each
+	// round the edge samples ceil(SampleFrac × live members) devices
+	// from its membership registry and invites only those. 0 (default)
+	// and ≥1 disable sampling — every live device participates every
+	// round, bitwise identical to the pre-sampling protocol.
+	SampleFrac float64
+	// SampleSeed seeds the deterministic participation draw (0 = derive
+	// from the run seed). Same seed, same membership, same subsets — on
+	// any transport.
+	SampleSeed int64
+	// SharedShards scales simulation memory to thousands of devices: the
+	// fleet draws one training shard per data group instead of one per
+	// device, and devices alias their group's shard read-only. Device
+	// data is no longer per-device unique within a group, so it is a
+	// simulation-scaling knob, not a protocol change.
+	SharedShards bool
+}
+
+// Validate reports fleet-option errors.
+func (f FleetOptions) Validate() error {
+	if f.SampleFrac < 0 || f.SampleFrac > 1 {
+		return fmt.Errorf("core: participation sample fraction %v outside [0,1]", f.SampleFrac)
+	}
+	return nil
+}
+
+// Sampling reports whether per-round participation sampling is active.
+func (f FleetOptions) Sampling() bool {
+	return f.SampleFrac > 0 && f.SampleFrac < 1
+}
+
 // Config assembles every knob of a full ACME run.
 type Config struct {
 	// Model and data.
@@ -26,8 +160,8 @@ type Config struct {
 	NumClasses int
 	Dataset    data.Spec
 
-	// Fleet.
-	Fleet            cluster.FleetSpec
+	// Fleet topology and per-round participation sampling.
+	Fleet            FleetOptions
 	EdgeServers      int // number of edge servers S (device clusters)
 	SamplesPerDevice int
 	ClassesPerDevice int
@@ -69,19 +203,6 @@ type Config struct {
 	// it (§II-A: "repeated iteratively until convergence"). 0 keeps the
 	// fixed-T behaviour.
 	ConvergenceEpsilon float64
-	// DeltaImportance makes the Phase 2-2 exchange symmetric and
-	// sparse: devices upload round-t importance sets as deltas against
-	// round t−1 (KindImportanceDelta), and the edge sends each device's
-	// personalized set as a delta against its previous downlink
-	// (KindImportanceDownDelta). Both directions carry a per-layer
-	// changed-index bitmask plus the packed values at changed positions,
-	// with a dense per-layer fallback when the delta would not be
-	// smaller. Reconstruction is bitwise-exact, so seeded Results are
-	// identical with the flag on or off; only the measured traffic
-	// changes. The uplink half is ignored when TopKFraction
-	// sparsification is active (the legacy top-k payload already is a
-	// sparse form); the downlink half applies regardless.
-	DeltaImportance bool
 	// ImportanceRefreshPeriod makes device-side importance incremental:
 	// instead of recomputing the full importance set from scratch every
 	// round, a device keeps its running batch accumulator and folds only
@@ -96,37 +217,13 @@ type Config struct {
 	// round folds into the running accumulator (0 = default 2; full
 	// refresh rounds always fold the complete budget).
 	IncrementalBatches int
-	// StragglerQuorum and StragglerDeadline enable the round-scoped
-	// straggler cutoff: once a ceil(StragglerQuorum × cluster size)
-	// fraction of a round's importance uploads has arrived and
-	// StragglerDeadline has elapsed since the edge started gathering,
-	// the edge combines without the stragglers (similarity weights
-	// renormalized over the present devices), invalidates the cut
-	// devices' delta shadows, and sends each one a ROUND-CUTOFF control
-	// record instead of a personalized set — so the loop stops pacing
-	// at the slowest device. Both zero (the default) waits for every
-	// device, which keeps seeded Results bitwise identical to the
-	// pre-session protocol. Quorum is a fraction in (0,1); the two must
-	// be set together.
-	StragglerQuorum   float64
-	StragglerDeadline time.Duration
-	// SlowDeviceDelay artificially delays one device's importance
-	// upload by this much every round (the device whose ID is
-	// SlowDeviceID) — a deterministic straggler for benchmarks and
-	// cutoff tests. 0 disables the injection.
-	SlowDeviceID    int
-	SlowDeviceDelay time.Duration
-	// TopKFraction sparsifies device importance uploads to the top
-	// fraction of entries by magnitude (0 or ≥1 sends dense sets). Low-
-	// importance entries only matter near the discard threshold, so
-	// moderate sparsification trades negligible fidelity for uplink
-	// bandwidth.
-	TopKFraction float64
-	LocalEpochs  int
-	LocalBatch   int
-	LocalLR      float64
-	ProbeSize    int // D̃ probe size for Wasserstein similarity
-	Aggregation  AggregationMethod
+	// Straggler is the round cutoff policy and slow-device injection.
+	Straggler   StragglerPolicy
+	LocalEpochs int
+	LocalBatch  int
+	LocalLR     float64
+	ProbeSize   int // D̃ probe size for Wasserstein similarity
+	Aggregation AggregationMethod
 	// DistanceScale multiplies raw distribution distances before the
 	// Eq. 19-20 similarity mapping (micro-scale features produce
 	// distances ≪ 1, which would wash out the row softmax).
@@ -143,18 +240,8 @@ type Config struct {
 	// of the setting; it only trades cores for wall time.
 	Parallelism int
 
-	// WireFormat selects the payload codec for protocol messages:
-	// "binary" (default — compact pooled wire codec, what Table I's
-	// traffic numbers measure) or "gob" (legacy, kept for
-	// compatibility runs). In TCP mode every process must agree.
-	WireFormat string
-	// Quantization selects the precision of parameter and importance
-	// payloads. Lossless (default) reproduces bitwise-identical
-	// results across codecs; QuantFloat16/QuantInt8 deterministically
-	// compress model traffic 4×/8× at bounded precision cost, and
-	// QuantMixed picks float16 or int8 per layer from the measured
-	// quantization error of the payload itself.
-	Quantization QuantMode
+	// Wire is the payload shaping: codec, quantization, sparsification.
+	Wire WireOptions
 
 	Seed int64
 }
@@ -207,7 +294,7 @@ func DefaultConfig() Config {
 		},
 		NumClasses:       spec.NumClasses,
 		Dataset:          spec,
-		Fleet:            cluster.FleetSpec{Clusters: 2, DevicesPerCluster: 3, Epochs: 3},
+		Fleet:            FleetOptions{Spec: cluster.FleetSpec{Clusters: 2, DevicesPerCluster: 3, Epochs: 3}},
 		EdgeServers:      2,
 		SamplesPerDevice: 160,
 		ClassesPerDevice: 20,
@@ -236,12 +323,30 @@ func DefaultConfig() Config {
 	}
 }
 
+// SampleSeed returns the participation-sampling seed: the explicit
+// Fleet.SampleSeed, or the run seed when unset.
+func (c Config) SampleSeed() int64 {
+	if c.Fleet.SampleSeed != 0 {
+		return c.Fleet.SampleSeed
+	}
+	return c.Seed
+}
+
 // Validate reports configuration errors.
 func (c Config) Validate() error {
 	if err := c.Backbone.Validate(); err != nil {
 		return err
 	}
 	if err := c.Dataset.Validate(); err != nil {
+		return err
+	}
+	if err := c.Wire.Validate(); err != nil {
+		return err
+	}
+	if err := c.Straggler.Validate(); err != nil {
+		return err
+	}
+	if err := c.Fleet.Validate(); err != nil {
 		return err
 	}
 	switch {
@@ -263,20 +368,6 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: negative incremental batch count %d", c.IncrementalBatches)
 	case c.Parallelism < 0:
 		return fmt.Errorf("core: negative parallelism %d", c.Parallelism)
-	case c.StragglerQuorum != 0 && (c.StragglerQuorum < 0 || c.StragglerQuorum >= 1):
-		return fmt.Errorf("core: straggler quorum %v outside (0,1)", c.StragglerQuorum)
-	case c.StragglerDeadline < 0:
-		return fmt.Errorf("core: negative straggler deadline %v", c.StragglerDeadline)
-	case (c.StragglerQuorum > 0) != (c.StragglerDeadline > 0):
-		return fmt.Errorf("core: straggler quorum and deadline must be set together (-quorum %v, -cutoff %v)",
-			c.StragglerQuorum, c.StragglerDeadline)
-	case c.SlowDeviceDelay < 0:
-		return fmt.Errorf("core: negative slow-device delay %v", c.SlowDeviceDelay)
-	case !c.Quantization.Valid():
-		return fmt.Errorf("core: unknown quantization mode %d", int(c.Quantization))
-	}
-	if _, err := transport.CodecByName(c.WireFormat); err != nil {
-		return err
 	}
 	for _, d := range c.Depths {
 		if d <= 0 || d > c.Backbone.Depth {

@@ -66,7 +66,7 @@ func TestTopKSparsificationReducesUplink(t *testing.T) {
 
 	run := func(topk float64) *Result {
 		cfg := tinyConfig()
-		cfg.TopKFraction = topk
+		cfg.Wire.TopKFraction = topk
 		sys, err := NewSystem(cfg)
 		if err != nil {
 			t.Fatal(err)

@@ -9,7 +9,7 @@ import (
 )
 
 // This file implements the stateful, delta-aware Phase 2-2 importance
-// exchange (Config.DeltaImportance). Both endpoints hold the previous
+// exchange (Config.Wire.DeltaImportance). Both endpoints hold the previous
 // round's payload in its packed byte form; round-t uploads then travel
 // as wire.DeltaLayer records — a changed-index bitmask plus the packed
 // elements at changed positions — with a dense per-layer fallback when

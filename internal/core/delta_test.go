@@ -247,8 +247,8 @@ func TestDeltaSystemBitwiseEquivalence(t *testing.T) {
 
 	variant := func(quant QuantMode, delta bool) Config {
 		cfg := base
-		cfg.Quantization = quant
-		cfg.DeltaImportance = delta
+		cfg.Wire.Quantization = quant
+		cfg.Wire.DeltaImportance = delta
 		return cfg
 	}
 	importanceBytes := func(r *Result) int64 {
@@ -340,7 +340,7 @@ func TestDeltaSystemBitwiseEquivalence(t *testing.T) {
 func TestPhase2RoundTrace(t *testing.T) {
 	cfg := tinyConfig()
 	cfg.Phase2Rounds = 2
-	cfg.DeltaImportance = true
+	cfg.Wire.DeltaImportance = true
 	sys, err := NewSystem(cfg)
 	if err != nil {
 		t.Fatal(err)

@@ -18,8 +18,8 @@ func TestPaperFleetSetting(t *testing.T) {
 	}
 	cfg := tinyConfig()
 	cfg.EdgeServers = 10
-	cfg.Fleet.Clusters = 10
-	cfg.Fleet.DevicesPerCluster = 5
+	cfg.Fleet.Spec.Clusters = 10
+	cfg.Fleet.Spec.DevicesPerCluster = 5
 	cfg.StorageFractions = []float64{0.45, 0.55, 0.7, 0.85, 1.0}
 	cfg.SamplesPerDevice = 40
 	cfg.DataGroups = 10

@@ -18,8 +18,8 @@ func TestIncrementalRefreshOneBitwiseEquivalence(t *testing.T) {
 	variant := func(refresh int, quant QuantMode, delta bool) *Result {
 		cfg := base
 		cfg.ImportanceRefreshPeriod = refresh
-		cfg.Quantization = quant
-		cfg.DeltaImportance = delta
+		cfg.Wire.Quantization = quant
+		cfg.Wire.DeltaImportance = delta
 		return runCfg(t, cfg)
 	}
 

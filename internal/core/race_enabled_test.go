@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceDetectorEnabled lets scale smokes (thousands of simulated
+// devices) skip under -race, where they run an order of magnitude
+// slower; race coverage of the same code paths comes from the small
+// sampling and churn tests.
+const raceDetectorEnabled = true

@@ -10,6 +10,7 @@ import (
 	"acme/internal/aggregate"
 	"acme/internal/cluster"
 	"acme/internal/data"
+	"acme/internal/fleet"
 	"acme/internal/importance"
 	"acme/internal/nas"
 	"acme/internal/nn"
@@ -94,7 +95,7 @@ func (s *System) runCloud(ctx context.Context) error {
 			return fmt.Errorf("edge %d: distill: %w", edgeID, err)
 		}
 		s.recordAssignment(edgeID, selected)
-		asg := EncodeBackbone(student.Backbone, selected.W, selected.D, selected, s.Cfg.Quantization)
+		asg := EncodeBackbone(student.Backbone, selected.W, selected.D, selected, s.Cfg.Wire.Quantization)
 		if err := s.send(transport.KindBackbone, "cloud", edgeName(edgeID), asg); err != nil {
 			return err
 		}
@@ -180,10 +181,20 @@ func (s *System) runEdge(ctx context.Context, edgeID int) error {
 	// the first copy.
 	memberIDs := make(map[int]bool, len(members))
 	deviceNames := make([]string, 0, len(members))
+	genesis := make(map[string]int, len(members))
 	for _, di := range members {
 		memberIDs[s.devices[di].ID] = true
 		deviceNames = append(deviceNames, s.devices[di].Name())
+		genesis[s.devices[di].Name()] = s.devices[di].ID
 	}
+	// The membership registry outlives any single gather: seeded from
+	// the static cluster list, then fed by every control record the
+	// session sees (JOIN / LEAVE / RESYNC fold in automatically), it is
+	// the live member set each round's participation sample draws from
+	// and the per-member traffic/latency history a scored sampler can
+	// rank by.
+	reg := ses.Membership()
+	reg.Seed(genesis)
 	devStats := make(map[int]DeviceStats, len(members))
 	shards := make(map[int]RawShard, len(members))
 	// A RESYNC-REQUEST this early (a device restarted with -rejoin
@@ -309,8 +320,8 @@ func (s *System) runEdge(ctx context.Context, edgeID int) error {
 	// been fine-tuned during search, so re-encode it. The package is
 	// kept for the rest of the run: it is also the dense re-seed a
 	// churned device receives when it resyncs mid-loop.
-	asg2 := EncodeBackbone(backbone, asg.W, asg.D, asg.Candidate, s.Cfg.Quantization)
-	pkg := HeaderPackage{Backbone: asg2, HeaderCfg: header.Cfg, Arch: arch, HeaderParams: EncodeHeader(header, s.Cfg.Quantization).HeaderParams}
+	asg2 := EncodeBackbone(backbone, asg.W, asg.D, asg.Candidate, s.Cfg.Wire.Quantization)
+	pkg := HeaderPackage{Backbone: asg2, HeaderCfg: header.Cfg, Arch: arch, HeaderParams: EncodeHeader(header, s.Cfg.Wire.Quantization).HeaderParams}
 	for _, di := range members {
 		if err := s.send(transport.KindHeader, name, s.devices[di].Name(), pkg); err != nil {
 			return err
@@ -341,10 +352,15 @@ func (s *System) runEdge(ctx context.Context, edgeID int) error {
 		nameByPos[i] = s.devices[di].Name()
 		idByPos[i] = s.devices[di].ID
 	}
-	// sendCutoff tells one device its round was combined without it —
-	// best-effort in every caller: a slow device reads it and moves on,
-	// a dead one's supervised link gives up on its own.
+	// sendCutoff tells one device its round was combined without it (or,
+	// with done set, that the run is over) — best-effort in every
+	// caller: a slow device reads it and moves on, a dead one's
+	// supervised link gives up on its own.
+	var doneTold []bool
 	sendCutoff := func(p, round int, done bool) {
+		if done {
+			doneTold[p] = true
+		}
 		_ = ses.SendControl(nameByPos[p], wire.ControlRecord{
 			Type: wire.ControlRoundCutoff, Device: idByPos[p], Round: round, Done: done,
 		})
@@ -354,10 +370,10 @@ func (s *System) runEdge(ctx context.Context, edgeID int) error {
 	// so each round's personalized set is encoded against the previous
 	// round's downlink (the shadow the device holds).
 	var downEncs []*deltaEncoder
-	if s.Cfg.DeltaImportance {
+	if s.Cfg.Wire.DeltaImportance {
 		downEncs = make([]*deltaEncoder, len(order))
 		for i := range downEncs {
-			downEncs[i] = &deltaEncoder{mode: s.Cfg.Quantization}
+			downEncs[i] = &deltaEncoder{mode: s.Cfg.Wire.Quantization}
 		}
 	}
 	cutoff := s.cutoffEnabled()
@@ -370,6 +386,21 @@ func (s *System) runEdge(ctx context.Context, edgeID int) error {
 	for i := range rejoinRound {
 		rejoinRound[i] = -1
 	}
+	// Participation sampling: each round invites only a seeded sample of
+	// the live membership, so per-round traffic and gather wall scale
+	// with the sampled count instead of the cluster size. lastSampled
+	// tracks each device's most recent invited round: a gap breaks both
+	// delta-shadow chains, so a resampled device re-seeds dense (the
+	// device derives the same reset from its own round gap — no extra
+	// signaling). doneTold tracks who already heard the run is over.
+	sampling := s.Cfg.Fleet.Sampling()
+	sampler := fleet.Sampler{Frac: s.Cfg.Fleet.SampleFrac, Seed: s.Cfg.SampleSeed()}
+	lastSampled := make([]int, len(order))
+	for i := range lastSampled {
+		lastSampled[i] = -1
+	}
+	doneTold = make([]bool, len(order))
+	invited := make([]bool, len(order))
 	var prev []*importance.Set
 	lastRound := -1
 	for t := 0; t < s.Cfg.Phase2Rounds; t++ {
@@ -440,7 +471,24 @@ func (s *System) runEdge(ctx context.Context, edgeID int) error {
 			case wire.ControlLeave:
 				p, ok := posByName[msg.From]
 				if !ok {
-					return false, fmt.Errorf("%v from %s outside cluster %d", rec.Type, msg.From, edgeID)
+					// Not a cluster member: link teardown from a peer
+					// that finished its part of the run (the cloud
+					// closes its transport after Phase 1) — lifecycle
+					// noise, not churn.
+					return false, nil
+				}
+				if !departed[p] {
+					// The collector is waiting for this device's report;
+					// tell it the member is gone so the run can end
+					// without it. Only the edge can: the device's LEAVE
+					// reaches the peers it had live links to, and a
+					// device that dies pre-report never spoke to the
+					// collector at all.
+					if err := ses.SendControl("collector", wire.ControlRecord{
+						Type: wire.ControlMemberGone, Node: name, Device: idByPos[p],
+					}); err != nil {
+						return false, err
+					}
 				}
 				departed[p] = true
 				shadows[p] = deltaDecoder{}
@@ -450,13 +498,23 @@ func (s *System) runEdge(ctx context.Context, edgeID int) error {
 				if !ok || nameByPos[p] != msg.From {
 					return false, fmt.Errorf("%v from %s for device %d outside cluster %d", rec.Type, msg.From, rec.Device, edgeID)
 				}
+				if departed[p] {
+					// Undo the MEMBER-GONE: the member is back in the
+					// loop, so the collector must wait for its report
+					// again.
+					if err := ses.SendControl("collector", wire.ControlRecord{
+						Type: wire.ControlMemberBack, Node: name, Device: rec.Device,
+					}); err != nil {
+						return false, err
+					}
+				}
 				// Dense re-seed: both directions of the device's delta
 				// exchange restart cold, and the device re-enters the
 				// loop next round with a fresh copy of the model
 				// package (its local state died with it).
 				shadows[p] = deltaDecoder{}
 				if downEncs != nil {
-					downEncs[p] = &deltaEncoder{mode: s.Cfg.Quantization}
+					downEncs[p] = &deltaEncoder{mode: s.Cfg.Wire.Quantization}
 				}
 				departed[p] = false
 				rejoinRound[p] = t + 1
@@ -469,16 +527,77 @@ func (s *System) runEdge(ctx context.Context, edgeID int) error {
 				return false, fmt.Errorf("unexpected %v control from %s during aggregation round %d", rec.Type, msg.From, t)
 			}
 		}
-		expect := make([]string, 0, len(order))
-		for i := range order {
-			if !departed[i] {
-				expect = append(expect, nameByPos[i])
+		var expect []string
+		var epoch uint64
+		if sampling {
+			// Build the round from the live membership, not the static
+			// cluster list: draw the seeded sample, invite exactly the
+			// sampled devices (everyone else sits the round out without
+			// computing or uploading anything), and remember the
+			// registry epoch so the gather re-checks liveness if
+			// membership moves while invites are in flight.
+			for i := range invited {
+				invited[i] = false
+			}
+			eligible := make([]string, 0, len(order))
+			for _, nm := range reg.Live() {
+				p, ok := posByName[nm]
+				if !ok || departed[p] || rejoinRound[p] > t {
+					continue
+				}
+				eligible = append(eligible, nm)
+			}
+			for _, nm := range sampler.Sample(t, eligible) {
+				p := posByName[nm]
+				if lastSampled[p] != t-1 {
+					// A participation gap breaks both delta-shadow
+					// chains; the device derives the same reset from its
+					// own round gap, so the pair re-seeds dense with no
+					// extra signaling.
+					shadows[p] = deltaDecoder{}
+					if downEncs != nil {
+						downEncs[p] = &deltaEncoder{mode: s.Cfg.Wire.Quantization}
+					}
+				}
+				if err := ses.SendControl(nm, wire.ControlRecord{
+					Type: wire.ControlRoundInvite, Node: nm, Device: idByPos[p], Round: t,
+				}); err != nil {
+					// The member churned between rounds: drop it from
+					// this round and force a dense re-seed whenever it is
+					// next sampled (the device missed a round either way).
+					shadows[p] = deltaDecoder{}
+					if downEncs != nil {
+						downEncs[p] = &deltaEncoder{mode: s.Cfg.Wire.Quantization}
+					}
+					lastSampled[p] = -1
+					continue
+				}
+				lastSampled[p] = t
+				invited[p] = true
+				expect = append(expect, nm)
+				rs.Sampled = append(rs.Sampled, idByPos[p])
+			}
+			rs.SampledCount = len(expect)
+			epoch = reg.Epoch()
+			if len(expect) == 0 {
+				// Every sampled member churned before its invite landed:
+				// nothing to gather or combine this round.
+				s.recordPhase2Round(rs)
+				continue
+			}
+		} else {
+			expect = make([]string, 0, len(order))
+			for i := range order {
+				if !departed[i] {
+					expect = append(expect, nameByPos[i])
+				}
 			}
 		}
 		spec := transport.GatherSpec{
 			Round:  t,
 			Kinds:  []transport.Kind{transport.KindImportanceSet, transport.KindImportanceDelta},
 			Expect: expect,
+			Epoch:  epoch,
 			Label:  fmt.Sprintf("aggregation round %d", t),
 			// Always tolerant: churn can inject out-of-round traffic
 			// with or without the cutoff — a rejoining device races
@@ -493,8 +612,8 @@ func (s *System) runEdge(ctx context.Context, edgeID int) error {
 			OnControl: control,
 		}
 		if cutoff {
-			spec.Quorum = s.Cfg.StragglerQuorum
-			spec.Deadline = s.Cfg.StragglerDeadline
+			spec.Quorum = s.Cfg.Straggler.Quorum
+			spec.Deadline = s.Cfg.Straggler.Deadline
 		}
 		gres, err := ses.Gather(ctx, spec)
 		if err != nil {
@@ -515,7 +634,17 @@ func (s *System) runEdge(ctx context.Context, edgeID int) error {
 		}
 		if comb.Added() == 0 {
 			// Nothing arrived (every live member resynced or left):
-			// there is no combine this round.
+			// there is no combine this round. Under sampling the cut
+			// members are told now — a cut invitee is blocked on this
+			// round's downlink, and with no combine the usual
+			// post-combine cutoff pass never runs.
+			if sampling {
+				for i := range order {
+					if missing[i] {
+						sendCutoff(i, t, t+1 >= s.Cfg.Phase2Rounds)
+					}
+				}
+			}
 			s.recordPhase2Round(rs)
 			continue
 		}
@@ -571,7 +700,7 @@ func (s *System) runEdge(ctx context.Context, edgeID int) error {
 		tensor.ParallelFor(len(order), func(i0, i1 int) {
 			for i := i0; i < i1; i++ {
 				d := &sent[i]
-				if missing[i] || departed[i] || rejoinRound[i] > t {
+				if missing[i] || departed[i] || rejoinRound[i] > t || (sampling && !invited[i]) {
 					d.skipped = true
 					continue
 				}
@@ -599,7 +728,7 @@ func (s *System) runEdge(ctx context.Context, edgeID int) error {
 				// collector's timeout is the backstop).
 				shadows[i] = deltaDecoder{}
 				if downEncs != nil {
-					downEncs[i] = &deltaEncoder{mode: s.Cfg.Quantization}
+					downEncs[i] = &deltaEncoder{mode: s.Cfg.Wire.Quantization}
 				}
 				rs.CutoffCount++
 				// If the device is actually alive behind a transient
@@ -613,6 +742,11 @@ func (s *System) runEdge(ctx context.Context, edgeID int) error {
 				rs.DownDeltaMessages++
 			} else {
 				rs.DownDenseMessages++
+			}
+			if done {
+				// The downlink payload carried the Done flag: this
+				// device's loop ends on its own.
+				doneTold[i] = true
 			}
 		}
 		for i := range order {
@@ -629,10 +763,16 @@ func (s *System) runEdge(ctx context.Context, edgeID int) error {
 			break
 		}
 	}
-	// A device that resynced during the final round expects to rejoin
-	// at a round that will never run: close its loop explicitly.
+	// Close every loop the final downlink didn't. Under sampling, a
+	// device that was not invited to the final round is still waiting
+	// for its next invite; without it, only a device that resynced
+	// during the final round expects a round that will never run.
 	for i := range order {
-		if rejoinRound[i] > lastRound {
+		if sampling {
+			if !departed[i] && !doneTold[i] {
+				sendCutoff(i, lastRound, true)
+			}
+		} else if rejoinRound[i] > lastRound {
 			sendCutoff(i, rejoinRound[i], true)
 		}
 	}
@@ -657,8 +797,8 @@ func (s *System) sendPersonalized(from, to string, enc *deltaEncoder, round int,
 	}
 	ps := PersonalizedSet{Discard: discard, Done: done}
 	var err error
-	if s.Cfg.Quantization != QuantLossless {
-		if ps.Quant, err = quantizeLayers(layers, s.Cfg.Quantization); err != nil {
+	if s.Cfg.Wire.Quantization != QuantLossless {
+		if ps.Quant, err = quantizeLayers(layers, s.Cfg.Wire.Quantization); err != nil {
 			return 0, false, err
 		}
 	} else {
@@ -738,7 +878,7 @@ func (s *System) recoverFromLostUplink(ctx context.Context, ses *transport.Sessi
 			// shadow; restart the encoder cold like the in-band cutoff
 			// path does.
 			if enc != nil {
-				*enc = deltaEncoder{mode: s.Cfg.Quantization}
+				*enc = deltaEncoder{mode: s.Cfg.Wire.Quantization}
 			}
 			return rec.Done, nil
 		}
@@ -967,7 +1107,7 @@ func (s *System) deviceRefineAndReport(ctx context.Context, ses *transport.Sessi
 		BackboneParams: header.Backbone.ActiveParamCount(),
 		HeaderParams:   header.ActiveParamCount(),
 	}
-	return s.send(transport.KindControl, ses.Node(), "collector", report)
+	return s.send(transport.KindReport, ses.Node(), "collector", report)
 }
 
 // deviceLoop runs the Phase 2-2 single loop on the device side from
@@ -986,12 +1126,15 @@ func (s *System) deviceRefineAndReport(ctx context.Context, ses *transport.Sessi
 // means this round combined without us: the uplink delta state
 // restarts cold (the edge dropped our upload) and the loop moves on.
 func (s *System) deviceLoop(ctx context.Context, ses *transport.Session, dev cluster.Device, edgeID int, rng *rand.Rand, local *data.Dataset, header *nas.HeaderModel, startRound int) error {
+	if s.Cfg.Fleet.Sampling() {
+		return s.deviceSampledLoop(ctx, ses, dev, edgeID, rng, local, header, startRound)
+	}
 	name := ses.Node()
 	edge := edgeName(edgeID)
-	topK := s.Cfg.TopKFraction > 0 && s.Cfg.TopKFraction < 1
+	topK := s.Cfg.Wire.TopKFraction > 0 && s.Cfg.Wire.TopKFraction < 1
 	var enc *deltaEncoder
-	if s.Cfg.DeltaImportance && !topK {
-		enc = &deltaEncoder{mode: s.Cfg.Quantization}
+	if s.Cfg.Wire.DeltaImportance && !topK {
+		enc = &deltaEncoder{mode: s.Cfg.Wire.Quantization}
 	}
 	var downDec deltaDecoder
 	refresh := s.Cfg.ImportanceRefreshPeriod
@@ -1005,9 +1148,9 @@ func (s *System) deviceLoop(ctx context.Context, ses *transport.Session, dev clu
 	for t := startRound; t < s.Cfg.Phase2Rounds; t++ {
 		// Deterministic straggler injection for cutoff benchmarks and
 		// tests: one configured device computes late every round.
-		if s.Cfg.SlowDeviceDelay > 0 && dev.ID == s.Cfg.SlowDeviceID {
+		if s.Cfg.Straggler.SlowDeviceDelay > 0 && dev.ID == s.Cfg.Straggler.SlowDeviceID {
 			select {
-			case <-time.After(s.Cfg.SlowDeviceDelay):
+			case <-time.After(s.Cfg.Straggler.SlowDeviceDelay):
 			case <-ctx.Done():
 				return ctx.Err()
 			}
@@ -1046,9 +1189,9 @@ func (s *System) deviceLoop(ctx context.Context, ses *transport.Session, dev clu
 		} else {
 			up := ImportanceUpload{DeviceID: dev.ID}
 			if topK {
-				up.Sparse = sparsifySet(set.Layers, s.Cfg.TopKFraction)
-			} else if s.Cfg.Quantization != QuantLossless {
-				up.Quant, err = quantizeLayers(set.Layers, s.Cfg.Quantization)
+				up.Sparse = sparsifySet(set.Layers, s.Cfg.Wire.TopKFraction)
+			} else if s.Cfg.Wire.Quantization != QuantLossless {
+				up.Quant, err = quantizeLayers(set.Layers, s.Cfg.Wire.Quantization)
 				if err != nil {
 					return err
 				}
@@ -1116,7 +1259,7 @@ func (s *System) deviceLoop(ctx context.Context, ses *transport.Session, dev clu
 			// downlink shadow pair is still in sync (the edge did not
 			// advance it either), so it stays.
 			if enc != nil {
-				*enc = deltaEncoder{mode: s.Cfg.Quantization}
+				*enc = deltaEncoder{mode: s.Cfg.Wire.Quantization}
 			}
 			if rec.Done {
 				break
@@ -1138,4 +1281,164 @@ func (s *System) deviceLoop(ctx context.Context, ses *transport.Session, dev clu
 		}
 	}
 	return nil
+}
+
+// deviceSampledLoop is the device side of the participation-sampled
+// Phase 2-2 loop. Instead of self-pacing through every round, the
+// device waits for a ROUND-INVITE naming each round it participates
+// in, computes importance from scratch for that round (incremental
+// folding does not compose with participation gaps: the accumulator
+// would mix batches from parameters many rounds apart), uploads, and
+// applies the downlink. A participation gap — this round is not
+// adjacent to the last one the device was invited to — restarts both
+// delta-shadow chains cold, mirroring the reset the edge derives from
+// its own lastSampled history, so a resampled device re-seeds dense
+// with no extra signaling. The loop ends on a Done downlink or a Done
+// ROUND-CUTOFF (the edge's end-of-run broadcast to uninvited members).
+func (s *System) deviceSampledLoop(ctx context.Context, ses *transport.Session, dev cluster.Device, edgeID int, rng *rand.Rand, local *data.Dataset, header *nas.HeaderModel, startRound int) error {
+	name := ses.Node()
+	edge := edgeName(edgeID)
+	topK := s.Cfg.Wire.TopKFraction > 0 && s.Cfg.Wire.TopKFraction < 1
+	var enc *deltaEncoder
+	if s.Cfg.Wire.DeltaImportance && !topK {
+		enc = &deltaEncoder{mode: s.Cfg.Wire.Quantization}
+	}
+	var downDec deltaDecoder
+	acc := importance.NewAccumulator()
+	last := startRound - 1
+	for {
+		// Wait for the next invite — or the word that the run is over.
+		var t int
+	waitInvite:
+		for {
+			msg, err := ses.Recv(ctx)
+			if err != nil {
+				return err
+			}
+			if msg.Kind != transport.KindControl || msg.From != edge {
+				return fmt.Errorf("unexpected %v from %s while awaiting a round invite", msg.Kind, msg.From)
+			}
+			rec, err := transport.ParseControl(msg)
+			if err != nil {
+				return err
+			}
+			switch rec.Type {
+			case wire.ControlRoundInvite:
+				t = rec.Round
+				break waitInvite
+			case wire.ControlRoundCutoff:
+				// A round we were cut from (the edge dropped our uplink
+				// shadow) or, with Done, the end-of-run broadcast.
+				if rec.Done {
+					return nil
+				}
+				if enc != nil {
+					*enc = deltaEncoder{mode: s.Cfg.Wire.Quantization}
+				}
+			default:
+				return fmt.Errorf("unexpected %v control from %s while awaiting a round invite", rec.Type, msg.From)
+			}
+		}
+		if t != last+1 {
+			// Participation gap: both shadow chains restart cold; the
+			// edge performs the identical reset from its lastSampled
+			// gap, so this round's exchange is dense in both directions.
+			if enc != nil {
+				*enc = deltaEncoder{mode: s.Cfg.Wire.Quantization}
+			}
+			downDec = deltaDecoder{}
+		}
+		last = t
+		// Deterministic straggler injection, as in the legacy loop.
+		if s.Cfg.Straggler.SlowDeviceDelay > 0 && dev.ID == s.Cfg.Straggler.SlowDeviceID {
+			select {
+			case <-time.After(s.Cfg.Straggler.SlowDeviceDelay):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		drs := DeviceRoundStat{DeviceID: dev.ID, Round: t}
+		start := time.Now()
+		acc.Reset()
+		var err error
+		if drs.Batches, err = acc.FoldBatches(header, local, s.Cfg.LocalBatch, fullImportanceBatches, rng); err != nil {
+			return err
+		}
+		set, err := acc.Average()
+		if err != nil {
+			return err
+		}
+		drs.ImportanceNS = time.Since(start).Nanoseconds()
+		var sendErr error
+		if enc != nil {
+			up, err := enc.encode(dev.ID, t, set.Layers)
+			if err != nil {
+				return err
+			}
+			sendErr = s.sendRound(transport.KindImportanceDelta, name, edge, t, up)
+		} else {
+			up := ImportanceUpload{DeviceID: dev.ID}
+			if topK {
+				up.Sparse = sparsifySet(set.Layers, s.Cfg.Wire.TopKFraction)
+			} else if s.Cfg.Wire.Quantization != QuantLossless {
+				up.Quant, err = quantizeLayers(set.Layers, s.Cfg.Wire.Quantization)
+				if err != nil {
+					return err
+				}
+			} else {
+				up.Layers = quantizeSet(set.Layers)
+			}
+			sendErr = s.sendRound(transport.KindImportanceSet, name, edge, t, up)
+		}
+		if sendErr != nil {
+			done, rerr := s.recoverFromLostUplink(ctx, ses, edge, t, enc, sendErr)
+			if rerr != nil {
+				return rerr
+			}
+			s.recordDeviceRound(drs)
+			if done {
+				return nil
+			}
+			continue
+		}
+		s.recordDeviceRound(drs)
+		// Receive the personalized set for this round, or the
+		// ROUND-CUTOFF that says the round combined without us.
+		msg, err := ses.Recv(ctx)
+		if err != nil {
+			return err
+		}
+		if msg.Kind == transport.KindControl {
+			rec, err := transport.ParseControl(msg)
+			if err != nil {
+				return err
+			}
+			if rec.Type != wire.ControlRoundCutoff || msg.From != edge {
+				return fmt.Errorf("unexpected %v control from %s during refinement round %d", rec.Type, msg.From, t)
+			}
+			if rec.Round != t {
+				return fmt.Errorf("round-cutoff from %s carries round %d during round %d", msg.From, rec.Round, t)
+			}
+			if enc != nil {
+				*enc = deltaEncoder{mode: s.Cfg.Wire.Quantization}
+			}
+			if rec.Done {
+				return nil
+			}
+			continue
+		}
+		psLayers, discard, final, err := s.decodePersonalized(&downDec, msg, edge, t)
+		if err != nil {
+			return err
+		}
+		if err := header.ApplyImportance(&importance.Set{Layers: psLayers}, discard); err != nil {
+			return err
+		}
+		if err := header.TrainLocal(local, 1, s.Cfg.LocalBatch, s.Cfg.LocalLR, rng); err != nil {
+			return err
+		}
+		if final {
+			return nil
+		}
+	}
 }

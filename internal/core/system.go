@@ -48,6 +48,12 @@ type Phase2RoundStat struct {
 	// via a RESYNC-REQUEST (dense re-seed of both delta shadows).
 	ResyncCount int
 
+	// Participation sampling (Config.Fleet.SampleFrac): how many live
+	// members this round invited and which device IDs, in invite order.
+	// Zero/empty when sampling is off (full participation).
+	SampledCount int
+	Sampled      []int
+
 	// Downlink direction: the personalized sets streamed back to the
 	// cluster as each round's combine finalizes.
 	DownlinkBytes     int64
@@ -166,7 +172,7 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.Parallelism > 0 {
 		tensor.SetParallelism(cfg.Parallelism)
 	}
-	codec, err := transport.CodecByName(cfg.WireFormat)
+	codec, err := transport.CodecByName(cfg.Wire.Format)
 	if err != nil {
 		return nil, err
 	}
@@ -176,11 +182,11 @@ func NewSystem(cfg Config) (*System, error) {
 		return nil, fmt.Errorf("core: dataset: %w", err)
 	}
 
-	fleet := cfg.Fleet
-	if fleet.Clusters <= 0 {
-		fleet.Clusters = cfg.EdgeServers
+	spec := cfg.Fleet.Spec
+	if spec.Clusters <= 0 {
+		spec.Clusters = cfg.EdgeServers
 	}
-	devices := cluster.GenerateFleet(fleet, rng)
+	devices := cluster.GenerateFleet(spec, rng)
 	// Storage budgets are fractions of the reference model's parameter
 	// count. Derived here — before any role goroutine starts — so every
 	// role (and every process in TCP mode) sees identical budgets.
@@ -205,20 +211,54 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 	public := gen.Sample(publicN, nil, rand.New(rand.NewSource(cfg.Seed+101)))
 
-	shards, err := data.Partition(gen, data.PartitionSpec{
-		Devices:        len(devices),
-		SamplesPerDev:  cfg.SamplesPerDevice,
-		ClassesPerDev:  cfg.ClassesPerDevice,
-		Level:          cfg.Level,
-		DistinctGroups: cfg.DataGroups,
-	}, rand.New(rand.NewSource(cfg.Seed+202)))
-	if err != nil {
-		return nil, fmt.Errorf("core: shards: %w", err)
-	}
 	devTrain := make([]*data.Dataset, len(devices))
 	devTest := make([]*data.Dataset, len(devices))
-	for i, shard := range shards {
-		devTrain[i], devTest[i] = shard.Split(0.8, rand.New(rand.NewSource(cfg.Seed+303+int64(i))))
+	if cfg.Fleet.SharedShards {
+		// Memory scaling for thousands of simulated devices
+		// (Config.Fleet.SharedShards): materialize one shard per data
+		// group and alias its read-only train/test splits across the
+		// group's devices, so a 2000-device fleet holds G datasets
+		// instead of 2000.
+		g := cfg.DataGroups
+		if g < 1 {
+			g = 1
+		}
+		if g > len(devices) {
+			g = len(devices)
+		}
+		shards, err := data.Partition(gen, data.PartitionSpec{
+			Devices:        g,
+			SamplesPerDev:  cfg.SamplesPerDevice,
+			ClassesPerDev:  cfg.ClassesPerDevice,
+			Level:          cfg.Level,
+			DistinctGroups: g,
+		}, rand.New(rand.NewSource(cfg.Seed+202)))
+		if err != nil {
+			return nil, fmt.Errorf("core: shards: %w", err)
+		}
+		groupTrain := make([]*data.Dataset, g)
+		groupTest := make([]*data.Dataset, g)
+		for gi, shard := range shards {
+			groupTrain[gi], groupTest[gi] = shard.Split(0.8, rand.New(rand.NewSource(cfg.Seed+303+int64(gi))))
+		}
+		for i := range devices {
+			devTrain[i] = groupTrain[i%g]
+			devTest[i] = groupTest[i%g]
+		}
+	} else {
+		shards, err := data.Partition(gen, data.PartitionSpec{
+			Devices:        len(devices),
+			SamplesPerDev:  cfg.SamplesPerDevice,
+			ClassesPerDev:  cfg.ClassesPerDevice,
+			Level:          cfg.Level,
+			DistinctGroups: cfg.DataGroups,
+		}, rand.New(rand.NewSource(cfg.Seed+202)))
+		if err != nil {
+			return nil, fmt.Errorf("core: shards: %w", err)
+		}
+		for i, shard := range shards {
+			devTrain[i], devTest[i] = shard.Split(0.8, rand.New(rand.NewSource(cfg.Seed+303+int64(i))))
+		}
 	}
 
 	mem := transport.NewMemory()
@@ -235,8 +275,15 @@ func NewSystem(cfg Config) (*System, error) {
 		assignments: make(map[int]pareto.Candidate),
 	}
 	mem.Register("cloud", 64)
-	for e := range clusters {
-		mem.Register(edgeName(e), 256)
+	for e, members := range clusters {
+		// An edge's inbox must absorb a whole cluster's worth of setup
+		// uploads (2 per device) plus loop traffic without backpressure
+		// deadlocking thousands of senders.
+		n := 256
+		if 4*len(members) > n {
+			n = 4 * len(members)
+		}
+		mem.Register(edgeName(e), n)
 	}
 	for _, d := range devices {
 		mem.Register(d.Name(), 64)
@@ -316,9 +363,9 @@ func (s *System) sendCounted(kind transport.Kind, from, to string, round int, v 
 }
 
 // cutoffEnabled reports whether the straggler cutoff is configured:
-// a quorum fraction plus a deadline (see Config.StragglerQuorum).
+// a quorum fraction plus a deadline (see Config.Straggler.Quorum).
 func (s *System) cutoffEnabled() bool {
-	return s.Cfg.StragglerQuorum > 0 && s.Cfg.StragglerQuorum < 1 && s.Cfg.StragglerDeadline > 0
+	return s.Cfg.Straggler.Quorum > 0 && s.Cfg.Straggler.Quorum < 1 && s.Cfg.Straggler.Deadline > 0
 }
 
 // Run executes the full pipeline: Phase 1 on the cloud, Phase 2-1 on
@@ -357,21 +404,7 @@ func (s *System) Run(ctx context.Context) (*Result, error) {
 	}
 
 	// Collect device reports.
-	reports := make([]DeviceReport, 0, len(s.devices))
-	var collectErr error
-	for i := 0; i < len(s.devices); i++ {
-		msg, err := transport.RecvKind(ctx, s.Net, "collector", transport.KindControl)
-		if err != nil {
-			collectErr = err
-			break
-		}
-		var rep DeviceReport
-		if err := s.decode(msg.Payload, &rep); err != nil {
-			collectErr = err
-			break
-		}
-		reports = append(reports, rep)
-	}
+	reports, collectErr := s.collectReports(ctx)
 	wg.Wait()
 	close(errc)
 	// A failing role cancels ctx, which also aborts the collector with
@@ -414,6 +447,58 @@ func (s *System) Run(ctx context.Context) (*Result, error) {
 	return res, nil
 }
 
+// collectReports is the collector role's loop, shared by Run and
+// RunRole: one KindReport per device ends the run, but a device that
+// churns away pre-report must not hang it forever — its edge, the only
+// node guaranteed to observe the departure, announces a MEMBER-GONE,
+// and the collector stops waiting for that device. A MEMBER-BACK (the
+// device resynced into the loop) re-arms the wait for its report.
+func (s *System) collectReports(ctx context.Context) ([]DeviceReport, error) {
+	reports := make([]DeviceReport, 0, len(s.devices))
+	reported := make(map[int]bool, len(s.devices))
+	gone := make(map[int]bool)
+	for len(reported)+len(gone) < len(s.devices) {
+		msg, err := s.Net.Recv(ctx, "collector")
+		if err != nil {
+			return reports, err
+		}
+		switch msg.Kind {
+		case transport.KindReport:
+			var rep DeviceReport
+			if err := s.decode(msg.Payload, &rep); err != nil {
+				return reports, err
+			}
+			if reported[rep.DeviceID] {
+				return reports, fmt.Errorf("duplicate report from %s for device %d", msg.From, rep.DeviceID)
+			}
+			reported[rep.DeviceID] = true
+			delete(gone, rep.DeviceID)
+			reports = append(reports, rep)
+		case transport.KindControl:
+			rec, err := transport.ParseControl(msg)
+			if err != nil {
+				return reports, err
+			}
+			switch rec.Type {
+			case wire.ControlMemberGone:
+				if !reported[rec.Device] {
+					gone[rec.Device] = true
+				}
+			case wire.ControlMemberBack:
+				delete(gone, rec.Device)
+			case wire.ControlJoin, wire.ControlLeave:
+				// Link lifecycle noise: on TCP every reporting device
+				// JOINs the collector's listener and LEAVEs on Close.
+			default:
+				return reports, fmt.Errorf("unexpected %v control from %s at collector", rec.Type, msg.From)
+			}
+		default:
+			return reports, fmt.Errorf("unexpected %v from %s at collector", msg.Kind, msg.From)
+		}
+	}
+	return reports, nil
+}
+
 // networkStats returns the network's traffic counters when the
 // transport exposes them (the in-memory and TCP transports both do),
 // or empty counters otherwise.
@@ -435,17 +520,9 @@ func (s *System) RunRole(ctx context.Context, role string) (*Result, error) {
 		return nil, s.runCloud(ctx)
 	}
 	if role == "collector" {
-		reports := make([]DeviceReport, 0, len(s.devices))
-		for i := 0; i < len(s.devices); i++ {
-			msg, err := transport.RecvKind(ctx, s.Net, "collector", transport.KindControl)
-			if err != nil {
-				return nil, err
-			}
-			var rep DeviceReport
-			if err := s.decode(msg.Payload, &rep); err != nil {
-				return nil, err
-			}
-			reports = append(reports, rep)
+		reports, err := s.collectReports(ctx)
+		if err != nil {
+			return nil, err
 		}
 		return &Result{Reports: reports, Stats: s.networkStats()}, nil
 	}

@@ -22,8 +22,8 @@ func tinyConfig() Config {
 	cfg.Dataset.NumSuper = 4
 	cfg.NumClasses = 20
 	cfg.EdgeServers = 2
-	cfg.Fleet.Clusters = 2
-	cfg.Fleet.DevicesPerCluster = 2
+	cfg.Fleet.Spec.Clusters = 2
+	cfg.Fleet.Spec.DevicesPerCluster = 2
 	cfg.SamplesPerDevice = 60
 	cfg.ClassesPerDevice = 6
 	cfg.PublicSamples = 120

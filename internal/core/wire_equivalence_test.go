@@ -15,8 +15,8 @@ func sortReportsByID(rep []DeviceReport) {
 func runWith(t *testing.T, wire string, quant QuantMode) *Result {
 	t.Helper()
 	cfg := tinyConfig()
-	cfg.WireFormat = wire
-	cfg.Quantization = quant
+	cfg.Wire.Format = wire
+	cfg.Wire.Quantization = quant
 	sys, err := NewSystem(cfg)
 	if err != nil {
 		t.Fatal(err)

@@ -78,14 +78,14 @@ func Bench3JSON(path string) (*Table, error) {
 	for _, v := range variants {
 		cfg := core.DefaultConfig()
 		cfg.EdgeServers = scen.Edges
-		cfg.Fleet.Clusters = scen.Edges
-		cfg.Fleet.DevicesPerCluster = scen.DevicesPerEdge
+		cfg.Fleet.Spec.Clusters = scen.Edges
+		cfg.Fleet.Spec.DevicesPerCluster = scen.DevicesPerEdge
 		cfg.SamplesPerDevice = scen.Samples
 		cfg.Phase2Rounds = scen.Rounds
 		cfg.Seed = scen.Seed
-		cfg.WireFormat = scen.Wire
-		cfg.Quantization = v.quant
-		cfg.DeltaImportance = v.delta
+		cfg.Wire.Format = scen.Wire
+		cfg.Wire.Quantization = v.quant
+		cfg.Wire.DeltaImportance = v.delta
 
 		sys, err := core.NewSystem(cfg)
 		if err != nil {

@@ -83,12 +83,12 @@ type bench4Report struct {
 func bench4BaseConfig(scen bench4Scenario) core.Config {
 	cfg := core.DefaultConfig()
 	cfg.EdgeServers = scen.Edges
-	cfg.Fleet.Clusters = scen.Edges
-	cfg.Fleet.DevicesPerCluster = scen.DevicesPerEdge
+	cfg.Fleet.Spec.Clusters = scen.Edges
+	cfg.Fleet.Spec.DevicesPerCluster = scen.DevicesPerEdge
 	cfg.SamplesPerDevice = scen.Samples
 	cfg.Phase2Rounds = scen.Rounds
 	cfg.Seed = scen.Seed
-	cfg.WireFormat = scen.Wire
+	cfg.Wire.Format = scen.Wire
 	return cfg
 }
 
@@ -248,8 +248,8 @@ func Bench4JSON(path string) (*Table, error) {
 	rep := bench4Report{Experiment: "bench4-symmetric-exchange", Scenario: scen}
 	for _, v := range variants {
 		cfg := bench4BaseConfig(scen)
-		cfg.Quantization = v.quant
-		cfg.DeltaImportance = v.delta
+		cfg.Wire.Quantization = v.quant
+		cfg.Wire.DeltaImportance = v.delta
 		cfg.ImportanceRefreshPeriod = v.refresh
 
 		bc := bench4Config{

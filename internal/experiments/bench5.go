@@ -74,12 +74,12 @@ type bench5Report struct {
 func bench5Run(scen bench5Scenario, bc *bench5Config, mutate func(*core.Config)) error {
 	cfg := core.DefaultConfig()
 	cfg.EdgeServers = scen.Edges
-	cfg.Fleet.Clusters = scen.Edges
-	cfg.Fleet.DevicesPerCluster = scen.DevicesPerEdge
+	cfg.Fleet.Spec.Clusters = scen.Edges
+	cfg.Fleet.Spec.DevicesPerCluster = scen.DevicesPerEdge
 	cfg.SamplesPerDevice = scen.Samples
 	cfg.Phase2Rounds = scen.Rounds
 	cfg.Seed = scen.Seed
-	cfg.WireFormat = scen.Wire
+	cfg.Wire.Format = scen.Wire
 	if mutate != nil {
 		mutate(&cfg)
 	}
@@ -138,8 +138,8 @@ func Bench5JSON(path string) (*Table, error) {
 	// The artificial straggler must name a real device of the fleet.
 	probeCfg := core.DefaultConfig()
 	probeCfg.EdgeServers = strag.Edges
-	probeCfg.Fleet.Clusters = strag.Edges
-	probeCfg.Fleet.DevicesPerCluster = strag.DevicesPerEdge
+	probeCfg.Fleet.Spec.Clusters = strag.Edges
+	probeCfg.Fleet.Spec.DevicesPerCluster = strag.DevicesPerEdge
 	probeCfg.SamplesPerDevice = strag.Samples
 	probeCfg.Seed = strag.Seed
 	probe, err := core.NewSystem(probeCfg)
@@ -156,22 +156,22 @@ func Bench5JSON(path string) (*Table, error) {
 	}{
 		{"dense-lossless", cont, nil},
 		{"delta-mixed", cont, func(cfg *core.Config) {
-			cfg.Quantization = core.QuantMixed
-			cfg.DeltaImportance = true
+			cfg.Wire.Quantization = core.QuantMixed
+			cfg.Wire.DeltaImportance = true
 		}},
 		{"straggler-wait", strag, func(cfg *core.Config) {
-			cfg.Quantization = core.QuantMixed
-			cfg.DeltaImportance = true
-			cfg.SlowDeviceID = slowID
-			cfg.SlowDeviceDelay = straggleDelay
+			cfg.Wire.Quantization = core.QuantMixed
+			cfg.Wire.DeltaImportance = true
+			cfg.Straggler.SlowDeviceID = slowID
+			cfg.Straggler.SlowDeviceDelay = straggleDelay
 		}},
 		{"straggler-cutoff", strag, func(cfg *core.Config) {
-			cfg.Quantization = core.QuantMixed
-			cfg.DeltaImportance = true
-			cfg.SlowDeviceID = slowID
-			cfg.SlowDeviceDelay = straggleDelay
-			cfg.StragglerQuorum = quorum
-			cfg.StragglerDeadline = cutoffDeadline
+			cfg.Wire.Quantization = core.QuantMixed
+			cfg.Wire.DeltaImportance = true
+			cfg.Straggler.SlowDeviceID = slowID
+			cfg.Straggler.SlowDeviceDelay = straggleDelay
+			cfg.Straggler.Quorum = quorum
+			cfg.Straggler.Deadline = cutoffDeadline
 		}},
 	}
 	for _, v := range variants {

@@ -30,8 +30,8 @@ func MicroConfig() core.Config {
 	cfg.Dataset.NumSuper = 4
 	cfg.NumClasses = 20
 	cfg.EdgeServers = 1
-	cfg.Fleet.Clusters = 1
-	cfg.Fleet.DevicesPerCluster = 5
+	cfg.Fleet.Spec.Clusters = 1
+	cfg.Fleet.Spec.DevicesPerCluster = 5
 	cfg.SamplesPerDevice = 150
 	cfg.ClassesPerDevice = 8
 	cfg.DataGroups = 2

@@ -39,13 +39,13 @@ func SetSessionOptions(quorum float64, cutoff time.Duration) {
 
 func applyWireOptions(cfg *core.Config) {
 	if wireFormat != "" {
-		cfg.WireFormat = wireFormat
+		cfg.Wire.Format = wireFormat
 	}
 	if quantMode != core.QuantLossless {
-		cfg.Quantization = quantMode
+		cfg.Wire.Quantization = quantMode
 	}
 	if deltaExchange {
-		cfg.DeltaImportance = true
+		cfg.Wire.DeltaImportance = true
 	}
 	if refreshPeriod > 0 {
 		cfg.ImportanceRefreshPeriod = refreshPeriod
@@ -54,7 +54,7 @@ func applyWireOptions(cfg *core.Config) {
 	// quorum-without-deadline loudly, exactly as acmesim/acmenode do,
 	// instead of silently measuring the wait-for-everyone path.
 	if stragglerQuorum != 0 || stragglerCutoff != 0 {
-		cfg.StragglerQuorum = stragglerQuorum
-		cfg.StragglerDeadline = stragglerCutoff
+		cfg.Straggler.Quorum = stragglerQuorum
+		cfg.Straggler.Deadline = stragglerCutoff
 	}
 }

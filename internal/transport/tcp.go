@@ -164,9 +164,13 @@ func (t *TCP) readLoop(conn net.Conn) {
 		if closed {
 			return
 		}
-		// Link-level control frames (JOIN handshake, LEAVE teardown)
-		// supervise the connection itself and never reach the inbox or
-		// the traffic counters.
+		// Link-level control frames supervise the connection itself.
+		// The JOIN handshake is pure link plumbing (every dial sends
+		// one) and never reaches the inbox or the traffic counters. A
+		// LEAVE tears the link down (peers fail fast on Send) AND is
+		// forwarded to the inbox: membership is role-level state — an
+		// edge must drop the departed device from its pending gather
+		// immediately, not discover the loss on the next write.
 		if msg.Kind == KindControl && msg.To == t.node {
 			if rec, err := wire.DecodeControl(msg.Payload); err == nil {
 				switch rec.Type {
@@ -175,7 +179,6 @@ func (t *TCP) readLoop(conn net.Conn) {
 					continue
 				case wire.ControlLeave:
 					t.peerLeft(msg.From, conn)
-					continue
 				}
 			}
 		}

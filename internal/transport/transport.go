@@ -31,6 +31,7 @@ const (
 	KindProvision                           // out-of-band setup: shared data already stored at the edge
 	KindImportanceDelta                     // device → edge: importance set as a delta vs round t−1
 	KindImportanceDownDelta                 // edge → device: personalized set as a delta vs round t−1
+	KindReport                              // device → collector: end-of-run result report
 )
 
 // String implements fmt.Stringer.
@@ -56,6 +57,8 @@ func (k Kind) String() string {
 		return "importance-delta"
 	case KindImportanceDownDelta:
 		return "importance-down-delta"
+	case KindReport:
+		return "report"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}

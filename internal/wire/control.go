@@ -33,8 +33,26 @@ const (
 	// missed the straggler deadline: the round was combined without it
 	// and both ends must drop their delta shadows (the device's next
 	// upload travels dense). Done marks the final round, ending the
-	// device's loop.
+	// device's loop. With participation sampling it doubles as the
+	// end-of-run signal to live devices the final round did not sample.
 	ControlRoundCutoff
+	// ControlRoundInvite is sent by an edge to each device its
+	// per-round participation sample selected: the device computes and
+	// uploads its round-Round importance set, then waits for the
+	// personalized downlink. Devices the sample skipped stay idle (no
+	// importance compute, no traffic) until a later invite or a Done
+	// cutoff — so per-round cost scales with the sampled count, not the
+	// fleet size.
+	ControlRoundInvite
+	// ControlMemberGone is a registry record an edge forwards to the
+	// collector when a member device announced a LEAVE: the device is
+	// out of the run and will never report, so the collector must stop
+	// waiting for it instead of hanging on a departed member.
+	ControlMemberGone
+	// ControlMemberBack is the counterpart of ControlMemberGone: a
+	// previously departed device re-entered the run via RESYNC-REQUEST,
+	// so the collector should expect its report after all.
+	ControlMemberBack
 )
 
 // String implements fmt.Stringer.
@@ -48,6 +66,12 @@ func (t ControlType) String() string {
 		return "resync-request"
 	case ControlRoundCutoff:
 		return "round-cutoff"
+	case ControlRoundInvite:
+		return "round-invite"
+	case ControlMemberGone:
+		return "member-gone"
+	case ControlMemberBack:
+		return "member-back"
 	default:
 		return fmt.Sprintf("ControlType(%d)", uint8(t))
 	}
@@ -55,7 +79,7 @@ func (t ControlType) String() string {
 
 // Valid reports whether t is a known control verb.
 func (t ControlType) Valid() bool {
-	return t >= ControlJoin && t <= ControlRoundCutoff
+	return t >= ControlJoin && t <= ControlMemberBack
 }
 
 // ControlRecord is the typed payload of every control-plane message.

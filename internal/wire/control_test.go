@@ -12,6 +12,10 @@ func TestControlRecordRoundTrip(t *testing.T) {
 		{Type: ControlResyncRequest, Node: "device-1", Device: 1},
 		{Type: ControlRoundCutoff, Device: 4, Round: 7},
 		{Type: ControlRoundCutoff, Device: 2, Round: 3, Done: true},
+		{Type: ControlRoundInvite, Device: 5, Round: 2},
+		{Type: ControlRoundInvite, Device: 0, Round: 9, Done: true},
+		{Type: ControlMemberGone, Node: "edge-1", Device: 6},
+		{Type: ControlMemberBack, Node: "edge-1", Device: 6, Round: 4},
 	}
 	for _, in := range records {
 		raw, err := EncodeControl(in)
@@ -51,7 +55,8 @@ func TestControlRecordRejectsUnknownType(t *testing.T) {
 
 func TestControlTypeStrings(t *testing.T) {
 	seen := map[string]bool{}
-	for _, ct := range []ControlType{ControlJoin, ControlLeave, ControlResyncRequest, ControlRoundCutoff} {
+	for _, ct := range []ControlType{ControlJoin, ControlLeave, ControlResyncRequest, ControlRoundCutoff,
+		ControlRoundInvite, ControlMemberGone, ControlMemberBack} {
 		if !ct.Valid() {
 			t.Fatalf("%v not valid", ct)
 		}
