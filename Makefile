@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-json3 bench-json4 bench-json5 bench-compare churn-smoke fleet-smoke fuzz fmt fmt-check vet ci
+.PHONY: all build test race bench bench-json bench-json3 bench-json4 bench-json5 bench-json6 bench-compare churn-smoke fleet-smoke fuzz fmt fmt-check vet ci
 
 all: build test
 
@@ -18,12 +18,16 @@ race:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./internal/tensor ./internal/wire ./internal/core ./internal/aggregate ./internal/importance
 
-# bench-json regenerates BENCH_6.json: the fleet-sampling trajectory —
-# a calibration fleet at full participation vs a 10× fleet at
-# -sample-frac 0.1, with per-round gather bytes/wall compared against
-# the full-participation extrapolation — plus the BENCH_5 continuity
-# configs (dense/delta wire bytes, sampling off, byte-identical).
+# bench-json regenerates BENCH_7.json: the wire-floor trajectory —
+# per-kind wire bytes with/without the entropy coder, the bulk entropy
+# ratio, and fast-vs-reflect decode microbenchmarks — plus the BENCH_6
+# continuity configs (dense/delta wire bytes, entropy off,
+# byte-identical).
 bench-json:
+	$(GO) run ./cmd/acmebench -exp bench7 -bench7json BENCH_7.json
+
+# bench-json6 regenerates the PR 6 fleet-sampling trajectory.
+bench-json6:
 	$(GO) run ./cmd/acmebench -exp bench6 -bench6json BENCH_6.json
 
 # bench-json5 regenerates the PR 5 straggler-cutoff trajectory.

@@ -34,6 +34,7 @@ func run() error {
 	wireName := flag.String("wire", "binary", "wire format for measured runs: binary, gob")
 	quant := flag.String("quant", "lossless", "payload quantization for measured runs: lossless, float16, int8, mixed")
 	delta := flag.Bool("delta", false, "delta-encode importance payloads (both directions) in measured runs")
+	entropy := flag.Bool("entropy", false, "entropy-code bulk payloads in measured runs (lossless range coder under the binary codec)")
 	refresh := flag.Int("refresh", 0, "device importance full-refresh period in measured runs (≤1 = full recompute every round)")
 	quorum := flag.Float64("quorum", 0, "straggler quorum fraction in (0,1) for measured runs (set together with -cutoff)")
 	cutoff := flag.Duration("cutoff", 0, "straggler deadline per aggregation round for measured runs")
@@ -41,6 +42,7 @@ func run() error {
 	bench4JSON := flag.String("bench4json", "BENCH_4.json", "output path for the bench4 symmetric-exchange JSON (bench4 pins its own memory/TCP × dense/delta variants)")
 	bench5JSON := flag.String("bench5json", "BENCH_5.json", "output path for the bench5 straggler-cutoff JSON (bench5 pins its own wait/cutoff variants)")
 	bench6JSON := flag.String("bench6json", "BENCH_6.json", "output path for the bench6 fleet-sampling JSON (bench6 pins its own full/sampled fleet variants)")
+	bench7JSON := flag.String("bench7json", "BENCH_7.json", "output path for the bench7 wire-floor JSON (bench7 pins its own entropy on/off variants)")
 	flag.Parse()
 	tensor.SetParallelism(*parallel)
 	qm, err := core.ParseQuantMode(*quant)
@@ -50,7 +52,7 @@ func run() error {
 	if _, err := transport.CodecByName(*wireName); err != nil {
 		return err
 	}
-	experiments.SetWireOptions(*wireName, qm, *delta, *refresh)
+	experiments.SetWireOptions(*wireName, qm, *delta, *entropy, *refresh)
 	experiments.SetSessionOptions(*quorum, *cutoff)
 
 	type runner struct {
@@ -81,12 +83,13 @@ func run() error {
 		{"bench4", func() (*experiments.Table, error) { return experiments.Bench4JSON(*bench4JSON) }},
 		{"bench5", func() (*experiments.Table, error) { return experiments.Bench5JSON(*bench5JSON) }},
 		{"bench6", func() (*experiments.Table, error) { return experiments.Bench6JSON(*bench6JSON) }},
+		{"bench7", func() (*experiments.Table, error) { return experiments.Bench7JSON(*bench7JSON) }},
 	}
-	// bench3/bench4/bench5/bench6 rewrite the checked-in BENCH_N.json
-	// files and add several full system runs each, so they never ride
-	// along with -exp all — they only run when named explicitly (as
-	// make bench-json does).
-	explicitOnly := map[string]bool{"bench3": true, "bench4": true, "bench5": true, "bench6": true}
+	// bench3/bench4/bench5/bench6/bench7 rewrite the checked-in
+	// BENCH_N.json files and add several full system runs each, so they
+	// never ride along with -exp all — they only run when named
+	// explicitly (as make bench-json does).
+	explicitOnly := map[string]bool{"bench3": true, "bench4": true, "bench5": true, "bench6": true, "bench7": true}
 
 	want := map[string]bool{}
 	all := *exp == "all"

@@ -43,6 +43,7 @@ func run() error {
 	seed := flag.Int64("seed", 1, "shared random seed (identical across processes)")
 	timeout := flag.Duration("timeout", 10*time.Minute, "run timeout")
 	wireName := flag.String("wire", "binary", "wire format: binary, gob (identical across processes)")
+	entropy := flag.Bool("entropy", false, "entropy-code bulk payloads (lossless; receivers detect entropy frames without configuration, so mixed fleets interoperate)")
 	quant := flag.String("quant", "lossless", "payload quantization: lossless, float16, int8, mixed (identical across processes)")
 	delta := flag.Bool("delta", false, "delta-encode successive importance payloads in both directions (identical across processes)")
 	refresh := flag.Int("refresh", 0, "device importance full-refresh period (identical across processes)")
@@ -75,6 +76,7 @@ func run() error {
 	cfg.Phase2Rounds = *rounds
 	cfg.Seed = *seed
 	cfg.Wire.Format = *wireName
+	cfg.Wire.Entropy = *entropy
 	qm, err := acme.ParseQuantMode(*quant)
 	if err != nil {
 		return err

@@ -36,6 +36,7 @@ func run() error {
 	timeout := flag.Duration("timeout", 10*time.Minute, "run timeout")
 	parallel := flag.Int("parallel", 0, "tensor-kernel goroutines (0 = GOMAXPROCS)")
 	wireName := flag.String("wire", "binary", "wire format: binary, gob")
+	entropy := flag.Bool("entropy", false, "entropy-code bulk payloads: an adaptive range coder under the binary codec (lossless, decoded results identical)")
 	quant := flag.String("quant", "lossless", "payload quantization: lossless, float16, int8, mixed")
 	delta := flag.Bool("delta", false, "delta-encode successive importance payloads in both directions (round t vs t−1)")
 	refresh := flag.Int("refresh", 0, "device importance full-refresh period (≤1 = full recompute every round; >1 folds only new batches in between, overlapped with the upload)")
@@ -67,6 +68,7 @@ func run() error {
 	cfg.Seed = *seed
 	cfg.Parallelism = *parallel
 	cfg.Wire.Format = *wireName
+	cfg.Wire.Entropy = *entropy
 	qm, err := acme.ParseQuantMode(*quant)
 	if err != nil {
 		return err
@@ -170,6 +172,7 @@ func run() error {
 		st.TotalReceivedMessages(), st.TotalReceivedBytes())
 	wireByKind := st.BytesByKind()
 	rawByKind := st.RawBytesByKind()
+	binByKind := st.BinaryBytesByKind()
 	msgsByKind := st.MessagesByKind()
 	recvByKind := st.ReceivedBytesByKind()
 	recvMsgsByKind := st.ReceivedMessagesByKind()
@@ -178,8 +181,14 @@ func run() error {
 		if wireByKind[k] > 0 {
 			ratio = float64(rawByKind[k]) / float64(wireByKind[k])
 		}
-		fmt.Printf("  %-16s sent %4d msgs %9d B (raw %9d, ratio %.2f)  recv %4d msgs %9d B\n",
-			k, msgsByKind[k], wireByKind[k], rawByKind[k], ratio, recvMsgsByKind[k], recvByKind[k])
+		line := fmt.Sprintf("  %-16s sent %4d msgs %9d B (raw %9d, ratio %.2f)",
+			k, msgsByKind[k], wireByKind[k], rawByKind[k], ratio)
+		if bin := binByKind[k]; bin > wireByKind[k] && wireByKind[k] > 0 {
+			// The raw→binary→entropy chain per kind: binary is what the
+			// plain codec would have sent, wire is what actually went out.
+			line += fmt.Sprintf(" [binary %9d B, entropy ×%.3f]", bin, float64(bin)/float64(wireByKind[k]))
+		}
+		fmt.Printf("%s  recv %4d msgs %9d B\n", line, recvMsgsByKind[k], recvByKind[k])
 	}
 
 	if len(res.Phase2Rounds) > 0 {

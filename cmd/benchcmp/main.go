@@ -8,8 +8,10 @@
 // "configs" array whose entries have a "name" and numeric metrics;
 // metrics whose key ends in "_bytes_total" are treated as
 // smaller-is-better wire volumes and compared across files for configs
-// sharing a name. Metrics or configs present in only one file are
-// reported but do not fail the run.
+// sharing a name. A "*_bytes_total" object value (such as the per-kind
+// "kind_bytes_total" map introduced in BENCH_7) is flattened into one
+// gated metric per kind. Metrics or configs present in only one file
+// are reported but do not fail the run.
 //
 //	benchcmp            # compare the two newest BENCH_*.json in .
 //	benchcmp A.json B.json  # compare A (older) against B (newer)
@@ -102,8 +104,18 @@ func wireMetrics(path string) (map[string]map[string]float64, error) {
 			if !strings.HasSuffix(k, "_bytes_total") {
 				continue
 			}
-			if f, ok := v.(float64); ok {
-				metrics[k] = f
+			switch t := v.(type) {
+			case float64:
+				metrics[k] = t
+			case map[string]any:
+				// Per-kind byte maps (e.g. "kind_bytes_total"): flatten
+				// each kind into its own gated metric. Older files
+				// without the map simply report "new metric".
+				for kind, kv := range t {
+					if f, ok := kv.(float64); ok {
+						metrics[k+"."+kind] = f
+					}
+				}
 			}
 		}
 		if len(metrics) > 0 {

@@ -24,6 +24,8 @@ func main() {
 	// count: the first cluster can barely hold a third of the model.
 	cfg.StorageFractions = []float64{0.35, 0.6, 1.0}
 	cfg.Phase2Rounds = 1
+	// Lossless entropy coding of the bulk payloads (results unchanged).
+	cfg.Wire.Entropy = true
 
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
 	defer cancel()

@@ -40,6 +40,8 @@ func main() {
 		cfg.DataGroups = 2
 		cfg.Aggregation = m.method
 		cfg.Seed = 7 // identical fleet and shards for every method
+		// Lossless entropy coding of the bulk payloads (results unchanged).
+		cfg.Wire.Entropy = true
 
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
 		res, err := acme.Run(ctx, cfg)

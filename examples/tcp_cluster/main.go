@@ -36,6 +36,10 @@ func main() {
 	// The compact binary wire format is the default; set it explicitly
 	// here because every process of a TCP deployment must agree on it.
 	cfg.Wire.Format = "binary"
+	// Entropy coding is sender-side: receivers detect entropy frames on
+	// the wire, so every process decodes correctly whether or not its
+	// own config sets this.
+	cfg.Wire.Entropy = true
 	cfg.Wire.Quantization = acme.QuantLossless
 	// Churn tolerance: combine once 50% of a cluster uploaded and 5s
 	// passed — far above a healthy round, so results are untouched, but

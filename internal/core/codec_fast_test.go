@@ -1,0 +1,297 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"acme/internal/wire"
+)
+
+// fastFixtures builds one value per hot payload kind in several shapes
+// (dense, quantized, sparse, delta, empty) for differential testing
+// against the reflect oracle.
+func fastFixtures(t testing.TB) []any {
+	rng := rand.New(rand.NewSource(11))
+	f32s := func(n int) []float32 {
+		s := make([]float32, n)
+		for i := range s {
+			s[i] = float32(rng.NormFloat64())
+		}
+		return s
+	}
+	f64s := func(n int) []float64 {
+		s := make([]float64, n)
+		for i := range s {
+			s[i] = rng.NormFloat64()
+		}
+		return s
+	}
+	bts := func(n int) []byte {
+		s := make([]byte, n)
+		rng.Read(s)
+		return s
+	}
+	bools := func(n int) []bool {
+		s := make([]bool, n)
+		for i := range s {
+			s[i] = rng.Intn(3) == 0
+		}
+		return s
+	}
+
+	layers := [][]float64{f64s(96), f64s(33), f64s(7)}
+	enc := &deltaEncoder{mode: QuantMixed}
+	if _, err := enc.encodeLayers(layers); err != nil {
+		t.Fatal(err)
+	}
+	for i := range layers {
+		for j := 0; j < len(layers[i])/10+1; j++ {
+			layers[i][rng.Intn(len(layers[i]))] += rng.NormFloat64()
+		}
+	}
+	deltaPls, err := enc.encodeLayers(layers)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	blob := ParamBlob{Name: "w.0", Rows: 8, Cols: 12, Data: f64s(96), Mode: QuantLossless, Scale: 0}
+	qblob := ParamBlob{Name: "w.1", Rows: 4, Cols: 4, Mode: QuantInt8, Quant: bts(16), Scale: 0.042}
+	asg := BackboneAssignment{
+		W: 0.75, D: 3, ActiveDepth: 2,
+		Params:      []ParamBlob{blob, qblob},
+		HeadMasks:   [][]bool{bools(4), bools(4)},
+		NeuronMasks: [][]bool{bools(17), nil},
+	}
+
+	return []any{
+		ImportanceUpload{DeviceID: 3, Layers: [][]float32{f32s(64), f32s(5), nil}},
+		ImportanceUpload{DeviceID: 0, Quant: []QuantLayer{
+			{Mode: QuantFloat16, Scale: 0, N: 20, Data: bts(40)},
+			{Mode: QuantInt8, Scale: 0.25, N: 16, Data: bts(16)},
+		}},
+		ImportanceUpload{DeviceID: 9, Sparse: []SparseLayer{
+			{Size: 50, Indices: []int32{0, 7, 49}, Values: f32s(3)},
+			{Size: 1, Indices: []int32{0}, Values: f32s(1)},
+		}},
+		ImportanceUpload{},
+		PersonalizedSet{Layers: [][]float32{f32s(40)}, Discard: 2, Done: true},
+		PersonalizedSet{Quant: []QuantLayer{{Mode: QuantFloat16, N: 8, Data: bts(16)}}},
+		PersonalizedSet{},
+		DeltaUpload{DeviceID: 4, Round: 2, Layers: deltaPls},
+		DeltaUpload{DeviceID: 1, Round: 0, Layers: []DeltaLayerPayload{
+			{Mode: QuantLossless, Delta: wire.DeltaLayer{N: 6, Elem: 4, Dense: true, Changed: bts(24)}},
+		}},
+		DownlinkDelta{Round: 3, Discard: 1, Done: true, Layers: deltaPls},
+		DownlinkDelta{},
+		RawShard{DeviceID: 5, X: [][]float64{f64s(12), f64s(12)}, Y: []int{0, 3}, Histogram: f64s(4)},
+		RawShard{DeviceID: 6},
+		asg,
+		HeaderPackage{Backbone: asg, HeaderParams: []ParamBlob{blob}},
+		HeaderPackage{},
+	}
+}
+
+// TestFastCodecMatchesReflect is the differential gate for the
+// hand-rolled codecs: their encodings must be byte-identical to the
+// reflect walk, and decoding any of plain/oracle/entropy frames must
+// produce identical values.
+func TestFastCodecMatchesReflect(t *testing.T) {
+	for i, v := range fastFixtures(t) {
+		name := fmt.Sprintf("%d:%T", i, v)
+		fast, err := wire.Encode(v)
+		if err != nil {
+			t.Fatalf("%s: fast encode: %v", name, err)
+		}
+		oracle, err := wire.EncodeReflect(v)
+		if err != nil {
+			t.Fatalf("%s: reflect encode: %v", name, err)
+		}
+		if !bytes.Equal(fast, oracle) {
+			t.Fatalf("%s: fast encoding differs from reflect oracle (%d vs %d bytes)", name, len(fast), len(oracle))
+		}
+		typ := reflect.TypeOf(v)
+		fastDec := reflect.New(typ)
+		if err := wire.Decode(fast, fastDec.Interface()); err != nil {
+			t.Fatalf("%s: fast decode: %v", name, err)
+		}
+		oracleDec := reflect.New(typ)
+		if err := wire.DecodeReflect(oracle, oracleDec.Interface()); err != nil {
+			t.Fatalf("%s: reflect decode: %v", name, err)
+		}
+		if !reflect.DeepEqual(fastDec.Elem().Interface(), oracleDec.Elem().Interface()) {
+			t.Fatalf("%s: fast decode differs from reflect decode", name)
+		}
+		coded := wire.EntropyCompress(fast)
+		entDec := reflect.New(typ)
+		if err := wire.Decode(coded, entDec.Interface()); err != nil {
+			t.Fatalf("%s: entropy decode: %v", name, err)
+		}
+		if !reflect.DeepEqual(entDec.Elem().Interface(), oracleDec.Elem().Interface()) {
+			t.Fatalf("%s: entropy round-trip differs from reflect decode", name)
+		}
+		// An arena-backed decode must agree too.
+		var arena wire.Arena
+		arenaDec := reflect.New(typ)
+		if err := wire.DecodeArena(fast, arenaDec.Interface(), &arena); err != nil {
+			t.Fatalf("%s: arena decode: %v", name, err)
+		}
+		if !reflect.DeepEqual(arenaDec.Elem().Interface(), oracleDec.Elem().Interface()) {
+			t.Fatalf("%s: arena decode differs from reflect decode", name)
+		}
+	}
+}
+
+// TestFastCodecRejectsMalformed checks the fast decoders fail (never
+// panic) on the same torn frames the reflect decoder rejects.
+func TestFastCodecRejectsMalformed(t *testing.T) {
+	for i, v := range fastFixtures(t) {
+		data, err := wire.Encode(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		typ := reflect.TypeOf(v)
+		for cut := 0; cut < len(data); cut += 1 + len(data)/37 {
+			fastErr := wire.Decode(data[:cut], reflect.New(typ).Interface())
+			oracleErr := wire.DecodeReflect(data[:cut], reflect.New(typ).Interface())
+			if (fastErr == nil) != (oracleErr == nil) {
+				t.Fatalf("fixture %d %T cut %d: fast err=%v, reflect err=%v", i, v, cut, fastErr, oracleErr)
+			}
+		}
+	}
+}
+
+func hotDecodeCases(t testing.TB) map[string]any {
+	rng := rand.New(rand.NewSource(7))
+	layers := make([][]float64, 6)
+	for i := range layers {
+		layers[i] = make([]float64, 400)
+		for j := range layers[i] {
+			layers[i][j] = rng.NormFloat64()
+		}
+	}
+	f32layers := make([][]float32, len(layers))
+	for i, l := range layers {
+		f32layers[i] = make([]float32, len(l))
+		for j, v := range l {
+			f32layers[i][j] = float32(v)
+		}
+	}
+	enc := &deltaEncoder{mode: QuantMixed}
+	if _, err := enc.encodeLayers(layers); err != nil {
+		t.Fatal(err)
+	}
+	for i := range layers {
+		for j := 0; j < 40; j++ {
+			layers[i][rng.Intn(len(layers[i]))] += rng.NormFloat64()
+		}
+	}
+	pls, err := enc.encodeLayers(layers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([][]float64, 32)
+	for i := range x {
+		x[i] = layers[i%len(layers)][:64]
+	}
+	return map[string]any{
+		"importance-set":   ImportanceUpload{DeviceID: 1, Layers: f32layers},
+		"importance-delta": DeltaUpload{DeviceID: 1, Round: 1, Layers: pls},
+		"downlink-delta":   DownlinkDelta{Round: 1, Layers: pls},
+		"personalized-set": PersonalizedSet{Layers: f32layers, Discard: 1},
+		"raw-shard":        RawShard{DeviceID: 2, X: x, Y: make([]int, 32), Histogram: layers[0][:10]},
+	}
+}
+
+// TestHotDecodeZeroAllocs proves the acceptance criterion directly:
+// steady-state decode of the hot kinds into a reused target performs
+// zero allocations — in particular, zero float-slice allocations.
+func TestHotDecodeZeroAllocs(t *testing.T) {
+	for name, v := range hotDecodeCases(t) {
+		t.Run(name, func(t *testing.T) {
+			data, err := wire.Encode(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dst := reflect.New(reflect.TypeOf(v)).Interface()
+			var arena wire.Arena
+			decode := func() {
+				arena.Reset()
+				if err := wire.DecodeArena(data, dst, &arena); err != nil {
+					t.Fatal(err)
+				}
+			}
+			decode() // warm the target's slices and the arena blocks
+			if n := testing.AllocsPerRun(50, decode); n > 0 {
+				t.Fatalf("steady-state decode allocates %.1f times per op, want 0", n)
+			}
+		})
+	}
+}
+
+func benchCodec(b *testing.B, v any, decode func([]byte, any) error) {
+	data, err := wire.Encode(v)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := reflect.New(reflect.TypeOf(v)).Interface()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := decode(data, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The Fast/Reflect benchmark pairs below measure the decode ns/op win
+// of the hand-rolled codecs over the reflect fallback on identical
+// frames (make bench runs them with -benchtime=1x as a smoke).
+func BenchmarkDecodeFast(b *testing.B) {
+	var arena wire.Arena
+	for name, v := range hotDecodeCases(b) {
+		b.Run(name, func(b *testing.B) {
+			benchCodec(b, v, func(data []byte, dst any) error {
+				arena.Reset()
+				return wire.DecodeArena(data, dst, &arena)
+			})
+		})
+	}
+}
+
+func BenchmarkDecodeReflect(b *testing.B) {
+	for name, v := range hotDecodeCases(b) {
+		b.Run(name, func(b *testing.B) {
+			benchCodec(b, v, wire.DecodeReflect)
+		})
+	}
+}
+
+func BenchmarkEncodeFast(b *testing.B) {
+	for name, v := range hotDecodeCases(b) {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := wire.Encode(v); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkEncodeReflect(b *testing.B) {
+	for name, v := range hotDecodeCases(b) {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := wire.EncodeReflect(v); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -29,6 +29,16 @@ type WireOptions struct {
 	// numbers measure) or "gob" (legacy, kept for compatibility runs).
 	// In TCP mode every process must agree.
 	Format string
+	// Entropy layers an adaptive order-0 range coder under the binary
+	// codec for the bulk payload kinds (raw shards, provisioned data,
+	// header/backbone packages, importance sets and deltas). It is
+	// lossless and per-message never-lose: a message whose entropy
+	// frame would not be strictly smaller than its plain binary frame
+	// travels plain. Receivers need no configuration — the wire layer
+	// detects and expands entropy frames transparently — so decoded
+	// results are bitwise identical with the flag on or off. Requires
+	// the binary (or entropy) format.
+	Entropy bool
 	// Quantization selects the precision of parameter and importance
 	// payloads. Lossless (default) reproduces bitwise-identical
 	// results across codecs; QuantFloat16/QuantInt8 deterministically
@@ -64,6 +74,9 @@ func (w WireOptions) Validate() error {
 	}
 	if _, err := transport.CodecByName(w.Format); err != nil {
 		return err
+	}
+	if w.Entropy && w.Format == "gob" {
+		return fmt.Errorf("core: entropy coding requires the binary wire format, not %q", w.Format)
 	}
 	return nil
 }

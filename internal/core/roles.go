@@ -403,6 +403,14 @@ func (s *System) runEdge(ctx context.Context, edgeID int) error {
 	invited := make([]bool, len(order))
 	var prev []*importance.Set
 	lastRound := -1
+	// foldArena backs the zero-copy decode of every gathered upload:
+	// reset per message, float payloads aliased straight into the frame
+	// buffer instead of allocated. Safe because everything the fold
+	// keeps past one message — combiner layers, delta shadows — is
+	// copied by the fold itself (importance uploads convert f32→f64,
+	// delta application copies into the shadow), inside the buffer
+	// lifetime the gather guarantees OnMessage.
+	foldArena := &wire.Arena{AliasInput: true}
 	for t := 0; t < s.Cfg.Phase2Rounds; t++ {
 		lastRound = t
 		comb, err := aggregate.NewCombiner(sim)
@@ -418,7 +426,8 @@ func (s *System) runEdge(ctx context.Context, edgeID int) error {
 			switch msg.Kind {
 			case transport.KindImportanceSet:
 				var up ImportanceUpload
-				if err := s.decode(msg.Payload, &up); err != nil {
+				foldArena.Reset()
+				if err := s.decodeArena(msg.Payload, &up, foldArena); err != nil {
 					return fmt.Errorf("decode %v from %s in round %d: %w", msg.Kind, msg.From, t, err)
 				}
 				devID = up.DeviceID
@@ -436,7 +445,8 @@ func (s *System) runEdge(ctx context.Context, edgeID int) error {
 				rs.DenseMessages++
 			case transport.KindImportanceDelta:
 				var up DeltaUpload
-				if err := s.decode(msg.Payload, &up); err != nil {
+				foldArena.Reset()
+				if err := s.decodeArena(msg.Payload, &up, foldArena); err != nil {
 					return fmt.Errorf("decode %v from %s in round %d: %w", msg.Kind, msg.From, t, err)
 				}
 				devID = up.DeviceID
@@ -1038,6 +1048,7 @@ func (s *System) runDeviceRejoin(ctx context.Context, edgeID, devIdx int) error 
 		if msg.Kind == transport.KindHeader && msg.From == edge {
 			break
 		}
+		msg.Release() // stray predecessor traffic: dropped unread
 	}
 	var pkg HeaderPackage
 	if err := s.decode(msg.Payload, &pkg); err != nil {
@@ -1244,6 +1255,7 @@ func (s *System) deviceLoop(ctx context.Context, ses *transport.Session, dev clu
 		}
 		if msg.Kind == transport.KindControl {
 			rec, err := transport.ParseControl(msg)
+			msg.Release() // record fully copied out of the payload
 			if err != nil {
 				return err
 			}
@@ -1267,6 +1279,9 @@ func (s *System) deviceLoop(ctx context.Context, ses *transport.Session, dev clu
 			continue
 		}
 		psLayers, discard, final, err := s.decodePersonalized(&downDec, msg, edge, t)
+		// The decoded layers are fresh float64 copies either way, so the
+		// frame buffer can go back to its pool here.
+		msg.Release()
 		if err != nil {
 			return err
 		}
@@ -1410,6 +1425,7 @@ func (s *System) deviceSampledLoop(ctx context.Context, ses *transport.Session, 
 		}
 		if msg.Kind == transport.KindControl {
 			rec, err := transport.ParseControl(msg)
+			msg.Release() // record fully copied out of the payload
 			if err != nil {
 				return err
 			}
@@ -1428,6 +1444,9 @@ func (s *System) deviceSampledLoop(ctx context.Context, ses *transport.Session, 
 			continue
 		}
 		psLayers, discard, final, err := s.decodePersonalized(&downDec, msg, edge, t)
+		// The decoded layers are fresh float64 copies either way, so the
+		// frame buffer can go back to its pool here.
+		msg.Release()
 		if err != nil {
 			return err
 		}

@@ -146,6 +146,7 @@ type System struct {
 	Net transport.Network
 
 	codec    transport.Codec
+	entropy  bool
 	devices  []cluster.Device
 	clusters [][]int // edge id → device indices
 	gen      *data.Generator
@@ -266,6 +267,7 @@ func NewSystem(cfg Config) (*System, error) {
 		Cfg:         cfg,
 		Net:         mem,
 		codec:       codec,
+		entropy:     cfg.Wire.Entropy,
 		devices:     devices,
 		clusters:    clusters,
 		gen:         gen,
@@ -322,17 +324,44 @@ func (s *System) DeviceTest(i int) *data.Dataset { return s.devTest[i] }
 
 func edgeName(e int) string { return fmt.Sprintf("edge-%d", e) }
 
+// entropyKinds is the per-kind eligibility set for Wire.Entropy: the
+// bulk payloads whose frames are large enough for an adaptive model to
+// find skew. Control, stats, and report traffic stays plain — at their
+// sizes the entropy frame's own header would eat the win, and the
+// never-lose fallback would send them plain anyway.
+var entropyKinds = map[transport.Kind]bool{
+	transport.KindBackbone:            true,
+	transport.KindHeader:              true,
+	transport.KindImportanceSet:       true,
+	transport.KindPersonalizedSet:     true,
+	transport.KindRawData:             true,
+	transport.KindProvision:           true,
+	transport.KindImportanceDelta:     true,
+	transport.KindImportanceDownDelta: true,
+}
+
+// codecFor returns the payload codec for one message kind: the
+// entropy-layered binary codec for bulk kinds when Wire.Entropy is
+// set, the configured codec otherwise. Decoding never consults this —
+// entropy frames self-identify on the wire.
+func (s *System) codecFor(kind transport.Kind) transport.Codec {
+	if s.entropy && entropyKinds[kind] {
+		return transport.Entropy
+	}
+	return s.codec
+}
+
 // send encodes v with the configured wire codec and sends it as one
 // message, recording raw-vs-wire byte accounting.
 func (s *System) send(kind transport.Kind, from, to string, v any) error {
-	return transport.SendValue(s.Net, s.codec, kind, from, to, v)
+	return transport.SendValue(s.Net, s.codecFor(kind), kind, from, to, v)
 }
 
 // sendRound is send with the message stamped with its loop round, so
 // the session layer can tell a live upload from a cut straggler's
 // stale one without decoding the payload.
 func (s *System) sendRound(kind transport.Kind, from, to string, round int, v any) error {
-	payload, err := s.codec.Encode(v)
+	payload, err := s.codecFor(kind).Encode(v)
 	if err != nil {
 		return err
 	}
@@ -347,11 +376,23 @@ func (s *System) decode(data []byte, v any) error {
 	return s.codec.Decode(data, v)
 }
 
+// decodeArena is decode with slices carved from a caller-owned arena —
+// and, when the arena allows it, aliased straight into data — for
+// streaming folds that consume the decoded value before the next
+// message. Codecs without arena support (gob) fall back to a plain
+// decode, which is always safe.
+func (s *System) decodeArena(data []byte, v any, a *wire.Arena) error {
+	if ad, ok := s.codec.(transport.ArenaDecoder); ok {
+		return ad.DecodeArena(data, v, a)
+	}
+	return s.codec.Decode(data, v)
+}
+
 // sendCounted is sendRound plus a wire-byte readout (payload + framing
 // estimate), for paths that feed the per-round traffic traces without
 // re-reading the shared Stats counters.
 func (s *System) sendCounted(kind transport.Kind, from, to string, round int, v any) (int64, error) {
-	payload, err := s.codec.Encode(v)
+	payload, err := s.codecFor(kind).Encode(v)
 	if err != nil {
 		return 0, err
 	}
@@ -584,7 +625,7 @@ func (s *System) centralizedBytes() int64 {
 			Y:         s.devTrain[i].Y,
 			Histogram: s.devTrain[i].ClassHistogram(),
 		}
-		if payload, err := s.codec.Encode(shard); err == nil {
+		if payload, err := s.codecFor(transport.KindRawData).Encode(shard); err == nil {
 			total += int64(len(payload)) + 16
 		}
 	}

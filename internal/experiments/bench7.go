@@ -1,0 +1,372 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"acme/internal/core"
+	"acme/internal/transport"
+	"acme/internal/wire"
+)
+
+// Bench7 measures the wire path at its floor: per-kind wire bytes with
+// and without the order-0 entropy coder layered under the binary
+// codec, and the decode ns/op of the hand-rolled hot-kind codecs
+// against the reflect fallback. Two continuity configs re-run the
+// BENCH_6 scenario unchanged (entropy off) so `make bench-compare`
+// keeps diffing wire bytes across PRs; their entropy-on twins must
+// reproduce the exact same results (the coder is lossless) while
+// shrinking the bulk kinds. The result is written as machine-readable
+// JSON (BENCH_7.json) and returned as a rendered table.
+
+// bench7Scenario pins one measured topology.
+type bench7Scenario struct {
+	Edges          int    `json:"edges"`
+	DevicesPerEdge int    `json:"devices_per_edge"`
+	Samples        int    `json:"samples_per_device"`
+	Rounds         int    `json:"rounds"`
+	Seed           int64  `json:"seed"`
+	Wire           string `json:"wire"`
+}
+
+// bench7Config is one measured variant.
+type bench7Config struct {
+	Name    string `json:"name"`
+	Quant   string `json:"quant"`
+	Delta   bool   `json:"delta"`
+	Entropy bool   `json:"entropy"`
+
+	// Continuity metrics, named like the earlier BENCH files so
+	// benchcmp diffs them across PRs.
+	ImportanceBytesTotal int64 `json:"importance_bytes_total"`
+	DownlinkBytesTotal   int64 `json:"downlink_bytes_total"`
+
+	// KindBytesTotal is the actual wire volume per message kind;
+	// KindBinaryBytes is what the plain binary codec would have sent
+	// (identical when entropy is off). benchcmp flattens the former
+	// into per-kind gated metrics.
+	KindBytesTotal  map[string]int64 `json:"kind_bytes_total"`
+	KindBinaryBytes map[string]int64 `json:"kind_binary_bytes"`
+	// EntropyRatioByKind is binary/wire per kind — the honest per-kind
+	// win of the entropy layer alone (1.0 = sent plain).
+	EntropyRatioByKind map[string]float64 `json:"entropy_ratio_by_kind,omitempty"`
+	// BulkEntropyRatio aggregates binary/wire over the bulk kinds the
+	// entropy layer targets.
+	BulkEntropyRatio  float64 `json:"bulk_entropy_ratio,omitempty"`
+	MeanAccuracyFinal float64 `json:"mean_accuracy_final"`
+	WallSeconds       float64 `json:"wall_seconds"`
+}
+
+// bench7Decode is one decode-path microbenchmark: the hand-rolled
+// codec against the reflect oracle on an identical frame.
+type bench7Decode struct {
+	Payload       string  `json:"payload"`
+	FrameBytes    int     `json:"frame_bytes"`
+	FastNSOp      int64   `json:"fast_ns_op"`
+	ReflectNSOp   int64   `json:"reflect_ns_op"`
+	Speedup       float64 `json:"speedup"`
+	FastAllocsOp  int64   `json:"fast_allocs_op"`
+	ReflectAllocs int64   `json:"reflect_allocs_op"`
+}
+
+// bench7Report is the BENCH_7.json document.
+type bench7Report struct {
+	Experiment string         `json:"experiment"`
+	Scenario   bench7Scenario `json:"scenario"`
+	Configs    []bench7Config `json:"configs"`
+	Decode     []bench7Decode `json:"decode_microbench"`
+
+	// The two headline ratios. LosslessEntropyRatio is the per-kind
+	// honest win of the entropy layer on bit-exact float64/float32
+	// payloads — bounded by the payloads' mantissa entropy (random
+	// mantissas cap an ideal coder near 1.15× on dense float64), so it
+	// lands well under the quantized figure. QuantizedEntropyVsLossless
+	// is the full wire-shaping stack (mixed quantization + delta
+	// exchange + entropy) against the dense lossless baseline on the
+	// same traffic: the deployable "wire path to its floor" number.
+	LosslessEntropyRatio       float64 `json:"lossless_entropy_ratio"`
+	QuantizedEntropyVsLossless float64 `json:"quantized_entropy_vs_lossless"`
+}
+
+// bench7BulkKinds are the kinds the entropy layer targets, as strings
+// (see core's eligibility set).
+var bench7BulkKinds = []transport.Kind{
+	transport.KindBackbone, transport.KindHeader,
+	transport.KindImportanceSet, transport.KindPersonalizedSet,
+	transport.KindRawData, transport.KindProvision,
+	transport.KindImportanceDelta, transport.KindImportanceDownDelta,
+}
+
+func bench7Run(scen bench7Scenario, bc *bench7Config, mutate func(*core.Config)) error {
+	cfg := core.DefaultConfig()
+	cfg.EdgeServers = scen.Edges
+	cfg.Fleet.Spec.Clusters = scen.Edges
+	cfg.Fleet.Spec.DevicesPerCluster = scen.DevicesPerEdge
+	cfg.SamplesPerDevice = scen.Samples
+	cfg.Phase2Rounds = scen.Rounds
+	cfg.Seed = scen.Seed
+	cfg.Wire.Format = scen.Wire
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Minute)
+	defer cancel()
+	start := time.Now()
+	res, err := sys.Run(ctx)
+	cancel()
+	if err != nil {
+		return err
+	}
+	bc.WallSeconds = time.Since(start).Seconds()
+	bc.MeanAccuracyFinal = res.MeanAccuracyFinal()
+	for _, rs := range res.Phase2Rounds {
+		bc.ImportanceBytesTotal += rs.UploadBytes
+		bc.DownlinkBytesTotal += rs.DownlinkBytes
+	}
+	st := res.Stats
+	wireByKind := st.BytesByKind()
+	binByKind := st.BinaryBytesByKind()
+	bc.KindBytesTotal = make(map[string]int64, len(wireByKind))
+	bc.KindBinaryBytes = make(map[string]int64, len(binByKind))
+	for k, v := range wireByKind {
+		bc.KindBytesTotal[k.String()] = v
+	}
+	for k, v := range binByKind {
+		bc.KindBinaryBytes[k.String()] = v
+	}
+	var bulkBin, bulkWire int64
+	for _, k := range bench7BulkKinds {
+		w, b := wireByKind[k], binByKind[k]
+		if w == 0 {
+			continue
+		}
+		bulkWire += w
+		bulkBin += b
+		if bc.Entropy {
+			if bc.EntropyRatioByKind == nil {
+				bc.EntropyRatioByKind = make(map[string]float64)
+			}
+			bc.EntropyRatioByKind[k.String()] = float64(b) / float64(w)
+		}
+	}
+	if bc.Entropy && bulkWire > 0 {
+		bc.BulkEntropyRatio = float64(bulkBin) / float64(bulkWire)
+	}
+	return nil
+}
+
+// bench7DecodePayloads builds one representative frame per hot decode
+// path (dense importance f32, delta exchange, raw probe shard) from a
+// fixed seed.
+func bench7DecodePayloads() map[string]any {
+	rng := rand.New(rand.NewSource(7))
+	f32layers := make([][]float32, 6)
+	for i := range f32layers {
+		f32layers[i] = make([]float32, 400)
+		for j := range f32layers[i] {
+			f32layers[i][j] = float32(rng.NormFloat64())
+		}
+	}
+	deltaLayers := make([]core.DeltaLayerPayload, 6)
+	for i := range deltaLayers {
+		changed := make([]byte, 400*8)
+		rng.Read(changed)
+		deltaLayers[i] = core.DeltaLayerPayload{
+			Mode:  core.QuantLossless,
+			Delta: wire.DeltaLayer{N: 400, Elem: 8, Dense: true, Changed: changed},
+		}
+	}
+	x := make([][]float64, 32)
+	for i := range x {
+		x[i] = make([]float64, 64)
+		for j := range x[i] {
+			x[i][j] = rng.NormFloat64()
+		}
+	}
+	hist := make([]float64, 10)
+	for i := range hist {
+		hist[i] = rng.Float64()
+	}
+	return map[string]any{
+		"importance-set":   core.ImportanceUpload{DeviceID: 1, Layers: f32layers},
+		"importance-delta": core.DeltaUpload{DeviceID: 1, Round: 1, Layers: deltaLayers},
+		"raw-shard":        core.RawShard{DeviceID: 2, X: x, Y: make([]int, 32), Histogram: hist},
+	}
+}
+
+// bench7DecodeMicro times the fast and reflect decode of each hot
+// payload with testing.Benchmark, in a deterministic payload order.
+func bench7DecodeMicro() ([]bench7Decode, error) {
+	payloads := bench7DecodePayloads()
+	order := []string{"importance-set", "importance-delta", "raw-shard"}
+	var out []bench7Decode
+	for _, name := range order {
+		v := payloads[name]
+		data, err := wire.Encode(v)
+		if err != nil {
+			return nil, fmt.Errorf("encode %s: %w", name, err)
+		}
+		dst := func() any {
+			switch v.(type) {
+			case core.ImportanceUpload:
+				return new(core.ImportanceUpload)
+			case core.DeltaUpload:
+				return new(core.DeltaUpload)
+			default:
+				return new(core.RawShard)
+			}
+		}()
+		var arena wire.Arena
+		fast := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				arena.Reset()
+				if err := wire.DecodeArena(data, dst, &arena); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		refl := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := wire.DecodeReflect(data, dst); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		d := bench7Decode{
+			Payload:       name,
+			FrameBytes:    len(data),
+			FastNSOp:      fast.NsPerOp(),
+			ReflectNSOp:   refl.NsPerOp(),
+			FastAllocsOp:  int64(fast.AllocsPerOp()),
+			ReflectAllocs: int64(refl.AllocsPerOp()),
+		}
+		if d.FastNSOp > 0 {
+			d.Speedup = float64(d.ReflectNSOp) / float64(d.FastNSOp)
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// Bench7JSON runs the wire-floor trajectory and writes it to path (""
+// skips the file and only renders the table).
+func Bench7JSON(path string) (*Table, error) {
+	// Continuity block: BENCH_6's exact scenario with entropy off, so
+	// wire bytes diff 1:1 across PRs.
+	cont := bench7Scenario{Edges: 2, DevicesPerEdge: 3, Samples: 160, Rounds: 4, Seed: 1, Wire: "binary"}
+
+	rep := bench7Report{Experiment: "bench7-wire-floor", Scenario: cont}
+	variants := []struct {
+		name    string
+		quant   string
+		delta   bool
+		entropy bool
+		mutate  func(*core.Config)
+	}{
+		{"dense-lossless", "lossless", false, false, nil},
+		{"delta-mixed", "mixed", true, false, func(cfg *core.Config) {
+			cfg.Wire.Quantization = core.QuantMixed
+			cfg.Wire.DeltaImportance = true
+		}},
+		{"dense-lossless-entropy", "lossless", false, true, func(cfg *core.Config) {
+			cfg.Wire.Entropy = true
+		}},
+		{"delta-mixed-entropy", "mixed", true, true, func(cfg *core.Config) {
+			cfg.Wire.Quantization = core.QuantMixed
+			cfg.Wire.DeltaImportance = true
+			cfg.Wire.Entropy = true
+		}},
+	}
+	for _, v := range variants {
+		bc := bench7Config{Name: v.name, Quant: v.quant, Delta: v.delta, Entropy: v.entropy}
+		if err := bench7Run(cont, &bc, v.mutate); err != nil {
+			return nil, fmt.Errorf("bench7 %s: %w", v.name, err)
+		}
+		rep.Configs = append(rep.Configs, bc)
+	}
+
+	byName := make(map[string]*bench7Config, len(rep.Configs))
+	for i := range rep.Configs {
+		byName[rep.Configs[i].Name] = &rep.Configs[i]
+	}
+	// The lossless-entropy run must reproduce the plain run exactly —
+	// the coder's correctness claim, enforced on every regeneration.
+	for _, pair := range [][2]string{{"dense-lossless", "dense-lossless-entropy"}, {"delta-mixed", "delta-mixed-entropy"}} {
+		plain, coded := byName[pair[0]], byName[pair[1]]
+		if plain.MeanAccuracyFinal != coded.MeanAccuracyFinal {
+			return nil, fmt.Errorf("bench7: %s accuracy %v != %s accuracy %v — entropy coding changed results",
+				pair[1], coded.MeanAccuracyFinal, pair[0], plain.MeanAccuracyFinal)
+		}
+		if coded.ImportanceBytesTotal > plain.ImportanceBytesTotal {
+			return nil, fmt.Errorf("bench7: %s uplink %d > %s uplink %d — entropy coding lost bytes",
+				pair[1], coded.ImportanceBytesTotal, pair[0], plain.ImportanceBytesTotal)
+		}
+	}
+	rep.LosslessEntropyRatio = byName["dense-lossless-entropy"].BulkEntropyRatio
+	var plainBulk, codedBulk int64
+	for _, k := range bench7BulkKinds {
+		plainBulk += byName["dense-lossless"].KindBytesTotal[k.String()]
+		codedBulk += byName["delta-mixed-entropy"].KindBytesTotal[k.String()]
+	}
+	if codedBulk > 0 {
+		rep.QuantizedEntropyVsLossless = float64(plainBulk) / float64(codedBulk)
+	}
+
+	dec, err := bench7DecodeMicro()
+	if err != nil {
+		return nil, err
+	}
+	rep.Decode = dec
+
+	if path != "" {
+		raw, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+			return nil, fmt.Errorf("bench7: write %s: %w", path, err)
+		}
+	}
+
+	t := &Table{
+		ID:    "bench7",
+		Title: "Wire floor: entropy coding per kind and fast-codec decode",
+		Columns: []string{"config", "uplink B total", "downlink B total",
+			"bulk entropy ×", "mean acc"},
+	}
+	for _, c := range rep.Configs {
+		ratio := "—"
+		if c.BulkEntropyRatio > 0 {
+			ratio = fmt.Sprintf("%.3f", c.BulkEntropyRatio)
+		}
+		t.AddRow(c.Name,
+			fmt.Sprintf("%d", c.ImportanceBytesTotal),
+			fmt.Sprintf("%d", c.DownlinkBytesTotal),
+			ratio,
+			fmt.Sprintf("%.3f", c.MeanAccuracyFinal))
+	}
+	for _, d := range rep.Decode {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"decode %s (%d B frame): fast %d ns/op %d allocs vs reflect %d ns/op %d allocs (%.1f×)",
+			d.Payload, d.FrameBytes, d.FastNSOp, d.FastAllocsOp, d.ReflectNSOp, d.ReflectAllocs, d.Speedup))
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("lossless entropy on bulk kinds: ×%.3f (bounded by float mantissa entropy — an ideal order-0 coder tops out near ×1.15 on dense float64)", rep.LosslessEntropyRatio),
+		fmt.Sprintf("full wire shaping (mixed quant + delta + entropy) vs dense lossless on bulk kinds: ×%.2f", rep.QuantizedEntropyVsLossless),
+		"dense-lossless / delta-mixed re-run the BENCH_6 scenario unchanged (bench-compare continuity)")
+	if path != "" {
+		t.Notes = append(t.Notes, "trajectory written to "+path)
+	}
+	return t, nil
+}

@@ -14,18 +14,21 @@ var (
 	wireFormat      string
 	quantMode       core.QuantMode
 	deltaExchange   bool
+	entropyCoding   bool
 	refreshPeriod   int
 	stragglerQuorum float64
 	stragglerCutoff time.Duration
 )
 
 // SetWireOptions overrides the wire format, quantization, delta
-// encoding (both directions), and the device importance refresh period
-// used by the measured (micro-scale) experiments.
-func SetWireOptions(format string, quant core.QuantMode, delta bool, refresh int) {
+// encoding (both directions), entropy coding of bulk payloads, and the
+// device importance refresh period used by the measured (micro-scale)
+// experiments.
+func SetWireOptions(format string, quant core.QuantMode, delta, entropy bool, refresh int) {
 	wireFormat = format
 	quantMode = quant
 	deltaExchange = delta
+	entropyCoding = entropy
 	refreshPeriod = refresh
 }
 
@@ -46,6 +49,9 @@ func applyWireOptions(cfg *core.Config) {
 	}
 	if deltaExchange {
 		cfg.Wire.DeltaImportance = true
+	}
+	if entropyCoding {
+		cfg.Wire.Entropy = true
 	}
 	if refreshPeriod > 0 {
 		cfg.ImportanceRefreshPeriod = refreshPeriod

@@ -29,6 +29,23 @@ var Gob Codec = gobCodec{}
 // headers, typed frames, packed float payloads.
 var Binary Codec = binaryCodec{}
 
+// Entropy is the binary codec with an order-0 adaptive range coder
+// layered on top: Encode emits the entropy-coded frame when it is
+// strictly smaller than the plain binary frame and the plain frame
+// otherwise, so it never loses. Decode is shared with Binary — the
+// wire package expands entropy frames transparently — which means a
+// receiver needs no configuration to interoperate with an
+// entropy-coding sender.
+var Entropy Codec = entropyCodec{}
+
+// ArenaDecoder is implemented by codecs whose Decode can carve slices
+// from a caller-owned arena (and alias the input buffer when the arena
+// allows it) instead of allocating. The session layer uses it for the
+// per-gather fold path.
+type ArenaDecoder interface {
+	DecodeArena(data []byte, v any, a *wire.Arena) error
+}
+
 type gobCodec struct{}
 
 func (gobCodec) Name() string { return "gob" }
@@ -67,15 +84,47 @@ func (binaryCodec) Decode(data []byte, v any) error {
 	return nil
 }
 
+func (binaryCodec) DecodeArena(data []byte, v any, a *wire.Arena) error {
+	if err := wire.DecodeArena(data, v, a); err != nil {
+		return fmt.Errorf("transport: decode: %w", err)
+	}
+	return nil
+}
+
+type entropyCodec struct{}
+
+func (entropyCodec) Name() string { return "entropy" }
+
+func (entropyCodec) Encode(v any) ([]byte, error) {
+	payload, err := wire.Encode(v)
+	if err != nil {
+		return nil, fmt.Errorf("transport: encode: %w", err)
+	}
+	return wire.EntropyCompress(payload), nil
+}
+
+func (entropyCodec) Decode(data []byte, v any) error {
+	return Binary.Decode(data, v)
+}
+
+func (entropyCodec) DecodeArena(data []byte, v any, a *wire.Arena) error {
+	if err := wire.DecodeArena(data, v, a); err != nil {
+		return fmt.Errorf("transport: decode: %w", err)
+	}
+	return nil
+}
+
 // CodecByName resolves a codec from its configuration name. The empty
 // string selects the default binary codec.
 func CodecByName(name string) (Codec, error) {
 	switch name {
 	case "", "binary":
 		return Binary, nil
+	case "entropy":
+		return Entropy, nil
 	case "gob":
 		return Gob, nil
 	default:
-		return nil, fmt.Errorf("transport: unknown wire format %q (want binary or gob)", name)
+		return nil, fmt.Errorf("transport: unknown wire format %q (want binary, entropy, or gob)", name)
 	}
 }

@@ -3,6 +3,8 @@ package transport
 import (
 	"bytes"
 	"testing"
+
+	"acme/internal/wire"
 )
 
 // FuzzReadFrame drives arbitrary bytes through the TCP frame decoder.
@@ -15,6 +17,18 @@ func FuzzReadFrame(f *testing.F) {
 		{Kind: KindStats, From: "device-0", To: "edge-0", Payload: []byte("payload")},
 		{Kind: KindImportanceSet, From: "d", To: "e", Payload: bytes.Repeat([]byte{0xAB}, 300)},
 		{Kind: KindControl, From: "", To: "", Payload: nil},
+	}
+	// An entropy-coded payload, as the entropy codec puts on the wire:
+	// the frame layer must carry it opaquely, and the per-kind stats
+	// probe (wire.EntropyInfo) must tolerate mutated headers.
+	entPlain, err := wire.Encode(struct{ Xs []float32 }{Xs: make([]float32, 200)})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if ent := wire.EntropyCompress(entPlain); wire.IsEntropy(ent) {
+		seeds = append(seeds, Message{Kind: KindImportanceSet, From: "d", To: "e", Round: 3, Payload: ent})
+	} else {
+		f.Fatal("entropy seed did not compress")
 	}
 	for _, msg := range seeds {
 		var buf bytes.Buffer
@@ -48,5 +62,7 @@ func FuzzReadFrame(f *testing.F) {
 		if again.Kind != msg.Kind || again.From != msg.From || again.To != msg.To || !bytes.Equal(again.Payload, msg.Payload) {
 			t.Fatalf("frame round trip unstable: %+v vs %+v", msg, again)
 		}
+		again.Release()
+		msg.Release()
 	})
 }

@@ -159,6 +159,13 @@ type GatherSpec struct {
 	// counted kind from senders outside Expect are delivered too, so
 	// role-level validation (unknown device, duplicate upload) keeps
 	// rejecting them loudly.
+	//
+	// Buffer lifetime: the gather calls msg.Release after OnMessage
+	// returns, so on a pooling transport the payload — and anything
+	// decoded zero-copy out of it ([]byte fields, arena aliases) — is
+	// only valid inside the callback. A handler that keeps payload
+	// bytes past its return must copy them, or msg.Retain and own the
+	// matching Release.
 	OnMessage func(Message) error
 	// OnControl is invoked for control-plane records that arrive during
 	// the gather (a churned device's RESYNC-REQUEST). Returning
@@ -241,8 +248,12 @@ func (s *Session) Gather(ctx context.Context, spec GatherSpec) (*GatherResult, e
 		return satisfied >= need
 	}
 	res := &GatherResult{}
-	// counted folds one round-matching message of a gathered kind.
+	// counted folds one round-matching message of a gathered kind. The
+	// deferred Release returns a pooling transport's frame buffer once
+	// the handler is done with it — including when the handler errors,
+	// so an aborted gather leaks nothing.
 	counted := func(msg Message) error {
+		defer msg.Release()
 		if spec.OnMessage != nil {
 			if err := spec.OnMessage(msg); err != nil {
 				return err
@@ -318,6 +329,9 @@ func (s *Session) Gather(ctx context.Context, spec GatherSpec) (*GatherResult, e
 		switch {
 		case msg.Kind == KindControl:
 			rec, err := ParseControl(msg)
+			// The record is fully copied out of the payload (no byte
+			// slices in a ControlRecord), so the frame is done either way.
+			msg.Release()
 			if err != nil {
 				return nil, fmt.Errorf("%w during %s", err, label)
 			}
@@ -348,8 +362,10 @@ func (s *Session) Gather(ctx context.Context, spec GatherSpec) (*GatherResult, e
 					return nil, fmt.Errorf("%v from %s carries round %d during %s", msg.Kind, msg.From, msg.Round, label)
 				}
 				if msg.Round < spec.Round {
-					// A cut straggler's late upload for a finished round.
+					// A cut straggler's late upload for a finished round:
+					// dropped, so its buffer is done here.
 					res.Stale++
+					msg.Release()
 				} else {
 					// A resynced device racing ahead: hold its upload
 					// for the round that will consume it.

@@ -162,6 +162,7 @@ func (t *TCP) readLoop(conn net.Conn) {
 		closed := t.closed
 		t.mu.Unlock()
 		if closed {
+			msg.Release()
 			return
 		}
 		// Link-level control frames supervise the connection itself.
@@ -176,6 +177,7 @@ func (t *TCP) readLoop(conn net.Conn) {
 				switch rec.Type {
 				case wire.ControlJoin:
 					t.adoptConn(msg.From, conn)
+					msg.Release()
 					continue
 				case wire.ControlLeave:
 					t.peerLeft(msg.From, conn)
@@ -422,10 +424,11 @@ func (t *TCP) Close() error {
 	for _, c := range inConns {
 		c.Close()
 	}
-	// Drain the inbox so readLoops blocked on send can observe closure.
+	// Drain the inbox so readLoops blocked on send can observe closure,
+	// releasing each discarded message's pooled buffer.
 	go func() {
-		for range t.inbox {
-			// discard
+		for msg := range t.inbox {
+			msg.Release()
 		}
 	}()
 	t.wg.Wait()
@@ -443,6 +446,28 @@ const maxFrame = 1 << 30
 type frameBuf struct{ b []byte }
 
 var framePool = sync.Pool{New: func() any { return &frameBuf{b: make([]byte, 0, 4096)} }}
+
+// readPool recycles inbound frame bodies. Unlike framePool buffers,
+// which return the moment the socket write finishes, a read buffer is
+// aliased by Message.Payload (and, under zero-copy decode, by slices
+// carved straight out of it), so it travels with the message as a
+// bufRef and returns to the pool only on the final Release.
+var readPool = &sync.Pool{New: func() any { return new(frameBuf) }}
+
+// maxPooledFrame caps the buffers readPool retains. An oversized frame
+// (a provision blob, or a corrupt length prefix short of maxFrame)
+// still decodes, but its buffer falls to the GC instead of pinning
+// gigabytes inside the pool.
+const maxPooledFrame = 4 << 20
+
+func putReadBuf(rb *frameBuf) {
+	if cap(rb.b) > maxPooledFrame {
+		rb.b = nil
+	} else {
+		rb.b = rb.b[:0]
+	}
+	readPool.Put(rb)
+}
 
 func uvarintLen(x uint64) int {
 	n := 1
@@ -488,6 +513,13 @@ type frameReader interface {
 	io.ByteReader
 }
 
+// readFrame parses one varint-framed message into a pooled body
+// buffer. On success the returned message's Payload aliases that
+// buffer and carries a bufRef with one reference: the consumer's
+// Release returns the buffer to readPool. On any error — including a
+// parse error after the body was read — the buffer goes straight back
+// to the pool here, so a torn or corrupt frame cannot leak it; no
+// alias can be outstanding because the message was never returned.
 func readFrame(r frameReader) (Message, error) {
 	n, err := binary.ReadUvarint(r)
 	if err != nil {
@@ -496,32 +528,43 @@ func readFrame(r frameReader) (Message, error) {
 	if n > maxFrame {
 		return Message{}, fmt.Errorf("transport: frame too large: %d", n)
 	}
-	body := make([]byte, n)
+	rb := readPool.Get().(*frameBuf)
+	if uint64(cap(rb.b)) < n {
+		rb.b = make([]byte, 0, n)
+	}
+	body := rb.b[:n]
 	if _, err := io.ReadFull(r, body); err != nil {
+		putReadBuf(rb)
 		return Message{}, err
 	}
 	if len(body) < 4 {
+		putReadBuf(rb)
 		return Message{}, fmt.Errorf("transport: short frame")
 	}
 	msg := Message{Kind: Kind(body[0])}
 	off := 1
 	round, rn := binary.Uvarint(body[off:])
 	if rn <= 0 || round > uint64(maxFrame) {
+		putReadBuf(rb)
 		return Message{}, fmt.Errorf("transport: bad round varint")
 	}
 	msg.Round = int(round)
 	off += rn
 	from, off, err := frameString(body, off)
 	if err != nil {
+		putReadBuf(rb)
 		return Message{}, fmt.Errorf("transport: bad from field: %w", err)
 	}
 	msg.From = from
 	to, off, err := frameString(body, off)
 	if err != nil {
+		putReadBuf(rb)
 		return Message{}, fmt.Errorf("transport: bad to field: %w", err)
 	}
 	msg.To = to
 	msg.Payload = body[off:]
+	msg.ref = &bufRef{free: func() { putReadBuf(rb) }}
+	msg.ref.refs.Store(1)
 	return msg, nil
 }
 

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"acme/internal/wire"
 )
@@ -78,6 +79,50 @@ type Message struct {
 	// encoding (see wire.RawSize). It is sender-side accounting only
 	// and never travels over a socket.
 	Raw int
+	// ref is the reference count of the pooled frame buffer backing
+	// Payload, installed by transports that recycle receive buffers
+	// (TCP). It is nil for sender-allocated payloads, in which case
+	// Retain and Release are no-ops.
+	ref *bufRef
+}
+
+// bufRef reference-counts a pooled buffer shared by a Message payload
+// and any zero-copy aliases decoded out of it.
+type bufRef struct {
+	refs atomic.Int32
+	free func()
+}
+
+// Retain adds a reference to the frame buffer backing the payload.
+// Call it before parking a message (or a slice decoded zero-copy out
+// of it) beyond the scope that will call Release.
+func (m Message) Retain() {
+	if m.ref != nil {
+		m.ref.refs.Add(1)
+	}
+}
+
+// Release drops one reference to the frame buffer backing the payload.
+// When the last reference is dropped the buffer returns to its pool,
+// so neither the payload nor any alias decoded out of it (wire.Dec
+// Bytes/F64s/F32s with AliasInput) may be touched afterwards. Messages
+// whose payload was allocated by the sender (Memory transport, TCP
+// self-delivery) have no pooled buffer and Release is a no-op.
+// Forgetting to Release is safe — the buffer falls to the garbage
+// collector instead of the pool; releasing more times than retained is
+// a bug and panics.
+func (m Message) Release() {
+	if m.ref == nil {
+		return
+	}
+	switch n := m.ref.refs.Add(-1); {
+	case n == 0:
+		if m.ref.free != nil {
+			m.ref.free()
+		}
+	case n < 0:
+		panic("transport: Message.Release without matching Retain")
+	}
 }
 
 // Encode gob-serializes v. Deprecated in the protocol path — messages
@@ -140,6 +185,7 @@ type Stats struct {
 	bytesBySrc      map[string]int64
 	bytesByKind     map[Kind]int64
 	rawByKind       map[Kind]int64
+	binByKind       map[Kind]int64
 	msgsByKind      map[Kind]int64
 	recvBytesByKind map[Kind]int64
 	recvMsgsByKind  map[Kind]int64
@@ -156,6 +202,7 @@ func NewStats() *Stats {
 		bytesBySrc:      make(map[string]int64),
 		bytesByKind:     make(map[Kind]int64),
 		rawByKind:       make(map[Kind]int64),
+		binByKind:       make(map[Kind]int64),
 		msgsByKind:      make(map[Kind]int64),
 		recvBytesByKind: make(map[Kind]int64),
 		recvMsgsByKind:  make(map[Kind]int64),
@@ -164,11 +211,20 @@ func NewStats() *Stats {
 
 func (s *Stats) record(msg Message) {
 	n := int64(len(msg.Payload)) + HeaderEstimate
+	// bin is the payload size before entropy coding: for an
+	// entropy-coded frame the inner plain length recorded in its
+	// header, for everything else the payload itself. The gap between
+	// binByKind and bytesByKind is exactly the entropy coder's win.
+	bin := n
+	if plain, ok := wire.EntropyInfo(msg.Payload); ok {
+		bin = int64(plain) + HeaderEstimate
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.bytesBySrc[msg.From] += n
 	s.bytesByKind[msg.Kind] += n
 	s.rawByKind[msg.Kind] += int64(msg.Raw)
+	s.binByKind[msg.Kind] += bin
 	s.msgsByKind[msg.Kind]++
 	s.totalBytes += n
 	s.totalRaw += int64(msg.Raw)
@@ -235,6 +291,21 @@ func (s *Stats) RawBytesByKind() map[Kind]int64 {
 	defer s.mu.Unlock()
 	out := make(map[Kind]int64, len(s.rawByKind))
 	for k, v := range s.rawByKind {
+		out[k] = v
+	}
+	return out
+}
+
+// BinaryBytesByKind returns a copy of the per-kind pre-entropy byte
+// counters: what the wire bytes would have been had entropy coding
+// been off (the plain binary frame size plus header estimate). For
+// kinds sent without entropy coding this equals BytesByKind, so the
+// binary/wire quotient is the per-kind entropy coding ratio.
+func (s *Stats) BinaryBytesByKind() map[Kind]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[Kind]int64, len(s.binByKind))
+	for k, v := range s.binByKind {
 		out[k] = v
 	}
 	return out

@@ -1,0 +1,46 @@
+package wire
+
+// Hand-rolled codec for DeltaLayer, byte-identical to the reflect
+// walk. DeltaLayer sits inside every delta-exchange payload, so the
+// importance hot path composes this from the core package's own fast
+// codecs instead of re-entering reflection per layer.
+
+// AppendWire appends the DeltaLayer's encoding to b.
+func (l DeltaLayer) AppendWire(b []byte) ([]byte, error) {
+	b = AppendStructTag(b, 5)
+	b = AppendInt(b, int64(l.N))
+	b = AppendInt(b, int64(l.Elem))
+	b = AppendBool(b, l.Dense)
+	b = AppendBytes(b, l.Mask)
+	b = AppendBytes(b, l.Changed)
+	return b, nil
+}
+
+// DecodeWire decodes one DeltaLayer from d. Mask and Changed alias
+// the frame buffer (see Dec.Bytes); DeltaLayer.Apply copies before
+// the shadow retains anything, so the alias never outlives the frame.
+func (l *DeltaLayer) DecodeWire(d *Dec) error {
+	if err := d.Struct("wire.DeltaLayer", 5); err != nil {
+		return err
+	}
+	n, err := d.Int("DeltaLayer.N")
+	if err != nil {
+		return err
+	}
+	l.N = int(n)
+	elem, err := d.Int("DeltaLayer.Elem")
+	if err != nil {
+		return err
+	}
+	l.Elem = int(elem)
+	if l.Dense, err = d.Bool("DeltaLayer.Dense"); err != nil {
+		return err
+	}
+	if l.Mask, err = d.Bytes("DeltaLayer.Mask"); err != nil {
+		return err
+	}
+	if l.Changed, err = d.Bytes("DeltaLayer.Changed"); err != nil {
+		return err
+	}
+	return nil
+}

@@ -96,6 +96,34 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte{Version})
 	f.Add([]byte{Version, tF64s, 0xff, 0xff, 0xff, 0xff, 0x0f})
 
+	// Entropy-coded frames: Decode expands these transparently, and the
+	// expand path must error — never panic, never over-allocate — on a
+	// truncated range-coder stream, a corrupt header, or an over-long
+	// declared inner length.
+	entSrc := upload{DeviceID: 9, Layers: [][]float32{make([]float32, 256)}}
+	for i := range entSrc.Layers[0] {
+		entSrc.Layers[0][i] = float32(i % 7)
+	}
+	entPlain, err := Encode(entSrc)
+	if err != nil {
+		f.Fatal(err)
+	}
+	ent := EntropyCompress(entPlain)
+	if !IsEntropy(ent) {
+		f.Fatal("entropy seed did not compress")
+	}
+	f.Add(append([]byte(nil), ent...))              // valid entropy frame
+	f.Add(append([]byte(nil), ent[:len(ent)/2]...)) // truncated stream
+	hdr := append([]byte(nil), ent...)
+	hdr[2] ^= 0x7f // corrupt declared inner length
+	f.Add(hdr)
+	sum := append([]byte(nil), ent...)
+	sum[len(sum)/4] ^= 0xff // corrupt checksum / early stream byte
+	f.Add(sum)
+	f.Add([]byte{Version, tEntropy}) // bare entropy tag, no header
+	// Over-long run: a tiny frame declaring a huge inner length.
+	f.Add([]byte{Version, tEntropy, 0xff, 0xff, 0xff, 0xff, 0x0f, 0, 0, 0, 0})
+
 	targets := []func() any{
 		func() any { return &assignment{} },
 		func() any { return &upload{} },

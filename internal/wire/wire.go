@@ -90,16 +90,81 @@ func Encode(v any) ([]byte, error) {
 
 // AppendEncode appends the encoding of v to dst and returns the
 // extended slice. This is the zero-copy entry point for callers that
-// frame messages themselves (the TCP transport).
+// frame messages themselves (the TCP transport). Types implementing
+// Marshaler encode through their hand-rolled path; everything else
+// goes through the reflect walk. Both produce identical bytes.
 func AppendEncode(dst []byte, v any) ([]byte, error) {
 	dst = append(dst, Version)
+	if m, ok := v.(Marshaler); ok {
+		return m.AppendWire(dst)
+	}
 	return appendValue(dst, reflect.ValueOf(v))
 }
 
 // Decode deserializes data into v, which must be a non-nil pointer.
 // Malformed input returns an error; it never panics. Trailing bytes
-// after the value are rejected.
+// after the value are rejected. Entropy-coded frames are expanded
+// transparently; pointer types implementing Unmarshaler decode
+// through their hand-rolled path.
 func Decode(data []byte, v any) error {
+	return DecodeArena(data, v, nil)
+}
+
+// DecodeArena is Decode with the decoded slices carved from a (and,
+// when a.AliasInput is set, aliased straight into data — see Arena for
+// the lifetime contract). A nil arena behaves exactly like Decode.
+func DecodeArena(data []byte, v any, a *Arena) error {
+	if IsEntropy(data) {
+		plain, _, err := EntropyExpand(data)
+		if err != nil {
+			return err
+		}
+		// The expanded frame is freshly allocated, so aliases into it
+		// are safe regardless of who owns the original buffer.
+		data = plain
+	}
+	if u, ok := v.(Unmarshaler); ok {
+		d := decPool.Get().(*Dec)
+		defer func() {
+			d.d = decoder{}
+			d.arena = nil
+			decPool.Put(d)
+		}()
+		d.d = decoder{b: data}
+		d.arena = a
+		ver, err := d.d.u8()
+		if err != nil {
+			return fmt.Errorf("wire: missing version byte")
+		}
+		if ver != Version {
+			return fmt.Errorf("wire: unsupported version %d", ver)
+		}
+		if err := u.DecodeWire(d); err != nil {
+			return err
+		}
+		if d.d.off != len(d.d.b) {
+			return fmt.Errorf("wire: %d trailing bytes after value", len(d.d.b)-d.d.off)
+		}
+		return nil
+	}
+	return DecodeReflect(data, v)
+}
+
+// EncodeReflect is Encode forced through the generic reflect walk,
+// ignoring any Marshaler implementation — the differential-test
+// oracle for hand-rolled codecs.
+func EncodeReflect(v any) ([]byte, error) {
+	b, err := AppendReflect([]byte{Version}, v)
+	if err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// DecodeReflect is Decode forced through the generic reflect walk,
+// ignoring any Unmarshaler implementation — the differential-test
+// oracle for hand-rolled codecs. It does not expand entropy frames.
+func DecodeReflect(data []byte, v any) error {
 	rv := reflect.ValueOf(v)
 	if rv.Kind() != reflect.Pointer || rv.IsNil() {
 		return fmt.Errorf("wire: decode target must be a non-nil pointer, got %T", v)
@@ -120,6 +185,10 @@ func Decode(data []byte, v any) error {
 	}
 	return nil
 }
+
+// decPool recycles Dec cursors: the interface call in DecodeArena
+// would otherwise heap-allocate one per hand-rolled decode.
+var decPool = sync.Pool{New: func() any { return new(Dec) }}
 
 // fieldCache maps a struct type to the indices of its exported fields.
 var fieldCache sync.Map // reflect.Type -> []int
