@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-json3 bench-json4 bench-json5 bench-json6 bench-compare churn-smoke fleet-smoke fuzz fmt fmt-check vet ci
+.PHONY: all build test race bench bench-json bench-json3 bench-json4 bench-json5 bench-json6 bench-json7 bench-compare churn-smoke fleet-smoke chaos-smoke fuzz fmt fmt-check vet ci
 
 all: build test
 
@@ -18,12 +18,15 @@ race:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./internal/tensor ./internal/wire ./internal/core ./internal/aggregate ./internal/importance
 
-# bench-json regenerates BENCH_7.json: the wire-floor trajectory —
-# per-kind wire bytes with/without the entropy coder, the bulk entropy
-# ratio, and fast-vs-reflect decode microbenchmarks — plus the BENCH_6
-# continuity configs (dense/delta wire bytes, entropy off,
-# byte-identical).
+# bench-json regenerates BENCH_8.json: the adversarial trial matrix —
+# detection TPR/FPR/eviction by Byzantine strategy × lie probability ×
+# link profile — plus the BENCH_7 continuity configs (dense/delta wire
+# bytes, chaos and detection off, byte-identical).
 bench-json:
+	$(GO) run ./cmd/acmebench -exp bench8 -bench8json BENCH_8.json
+
+# bench-json7 regenerates the PR 7 wire-floor trajectory.
+bench-json7:
 	$(GO) run ./cmd/acmebench -exp bench7 -bench7json BENCH_7.json
 
 # bench-json6 regenerates the PR 6 fleet-sampling trajectory.
@@ -49,9 +52,18 @@ bench-compare:
 
 # churn-smoke kills one device mid-run over loopback TCP and rejoins it
 # via the dense-resync control path, asserting the run completes with
-# every device reporting and the exchange back to sparse deltas.
+# every device reporting and the exchange back to sparse deltas. The
+# 20-iteration stress loop guards the rejoin path's timing races (the
+# flake fixed in PR 8 only reproduced once in tens of runs).
 churn-smoke:
-	$(GO) test -run 'TestChurnRejoinTCP' -count=1 -v ./internal/core
+	$(GO) test -run 'TestChurnRejoinTCP' -count=20 -failfast -timeout 1200s ./internal/core
+
+# chaos-smoke runs one adversarial trial over loopback TCP: seeded link
+# chaos on every device link, one inflating device, detection armed —
+# asserting the liar is flagged, evicted via MEMBER-GONE, and the run
+# completes with every honest device reporting.
+chaos-smoke:
+	$(GO) test -run 'TestByzantineDetectTCP' -count=1 -v ./internal/core
 
 # fleet-smoke runs a 2000-device fleet (8 edges × 250 devices, shared
 # read-only data shards) in one process at -sample-frac 0.05, asserting
@@ -74,4 +86,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: fmt-check vet build test race bench bench-compare churn-smoke fleet-smoke
+ci: fmt-check vet build test race bench bench-compare churn-smoke fleet-smoke chaos-smoke

@@ -54,6 +54,21 @@ type StragglerPolicy = core.StragglerPolicy
 // participation sampling (Config.Fleet).
 type FleetOptions = core.FleetOptions
 
+// ByzantineOptions injects adversarial devices into the fleet
+// (Config.Fleet.Byzantine): the first Count device IDs corrupt their
+// importance uploads with a seeded strategy.
+type ByzantineOptions = core.ByzantineOptions
+
+// DetectOptions arms the edge-side statistical screen against
+// Byzantine uploads (Config.Fleet.Detect): Wasserstein anomaly
+// scoring, suspect exclusion, and strike-limit eviction.
+type DetectOptions = core.DetectOptions
+
+// ChaosOptions wraps the run's in-memory transport in the seeded
+// link-fault model (Config.Chaos): per-pair delays, jitter, spikes,
+// and bandwidth serialization — timing only, never payloads.
+type ChaosOptions = core.ChaosOptions
+
 // FleetMember is one registered device in a session's membership
 // registry: liveness, epoch of the last change, and per-round traffic
 // history.

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"acme"
+	"acme/internal/chaos"
 	"acme/internal/core"
 	"acme/internal/transport"
 )
@@ -54,6 +55,22 @@ func run() error {
 	sampleSeed := flag.Int64("sample-seed", 0, "participation sampling seed, 0 = derive from -seed (identical across processes)")
 	sharedShards := flag.Bool("shared-shards", false, "share one training shard per data group across its devices (identical across processes)")
 	rejoin := flag.Bool("rejoin", false, "device roles only: rejoin a run already in progress via a dense resync instead of the setup handshake")
+	chaosOn := flag.Bool("chaos", false, "wrap this node's transport in the seeded link-fault model (timing only; per-node — a mixed fleet interoperates)")
+	chaosSeed := flag.Int64("chaos-seed", 0, "link-fault schedule seed (0 = derive from -seed)")
+	chaosBase := flag.Duration("chaos-base", 200*time.Microsecond, "chaos per-message base delay")
+	chaosJitter := flag.Duration("chaos-jitter", 2*time.Millisecond, "chaos uniform jitter on top of the base delay")
+	chaosSpikeProb := flag.Float64("chaos-spike-prob", 0.1, "chaos per-message probability of a latency spike")
+	chaosSpike := flag.Duration("chaos-spike", 10*time.Millisecond, "chaos extra delay of a latency spike")
+	chaosBandwidth := flag.Int64("chaos-bandwidth", 0, "chaos per-link bandwidth in bytes/s for serialization delay (0 = unlimited)")
+	byzStrategy := flag.String("byzantine", "", "byzantine strategy for the first -byzantine-count devices: inflate, fabricate, replay (identical across processes)")
+	byzCount := flag.Int("byzantine-count", 1, "how many devices lie (identical across processes)")
+	byzProb := flag.Float64("byzantine-prob", 1, "per-round lie probability (identical across processes)")
+	byzFactor := flag.Float64("byzantine-factor", 0, "corruption scale, 0 = default 10 (identical across processes)")
+	byzSeed := flag.Int64("byzantine-seed", 0, "lie-draw seed, 0 = derive from -seed (identical across processes)")
+	detect := flag.Bool("detect", false, "arm the edge-side statistical detector (identical across processes)")
+	detectK := flag.Float64("detect-k", 0, "detector MAD multiplier (0 = default 3, identical across processes)")
+	detectMargin := flag.Float64("detect-margin", 0, "detector median slack (0 = default 0.5, identical across processes)")
+	detectStrikes := flag.Int("detect-strikes", 0, "flagged rounds before eviction (0 = default 2, negative = never evict; identical across processes)")
 	flag.Parse()
 
 	if *role == "" || *listen == "" || *peers == "" {
@@ -93,10 +110,44 @@ func run() error {
 	cfg.Fleet.SampleFrac = *sampleFrac
 	cfg.Fleet.SampleSeed = *sampleSeed
 	cfg.Fleet.SharedShards = *sharedShards
+	if *byzStrategy != "" {
+		cfg.Fleet.Byzantine = acme.ByzantineOptions{
+			Strategy: *byzStrategy,
+			Count:    *byzCount,
+			Prob:     *byzProb,
+			Factor:   *byzFactor,
+			Seed:     *byzSeed,
+		}
+	}
+	if *detect {
+		cfg.Fleet.Detect = acme.DetectOptions{
+			Enabled:     true,
+			K:           *detectK,
+			Margin:      *detectMargin,
+			StrikeLimit: *detectStrikes,
+		}
+	}
 
-	net, err := transport.NewTCP(*role, *listen, peerMap)
+	tcpNet, err := transport.NewTCP(*role, *listen, peerMap)
 	if err != nil {
 		return err
+	}
+	var net transport.Transport = tcpNet
+	if *chaosOn {
+		// Per-node link chaos over the real TCP transport: this node's
+		// sends are delayed per the seeded schedule; nodes without the
+		// flag interoperate untouched.
+		seed := *chaosSeed
+		if seed == 0 {
+			seed = cfg.Seed
+		}
+		net = chaos.New(tcpNet, chaos.Options{Seed: seed, Default: chaos.Profile{
+			BaseDelay:    *chaosBase,
+			Jitter:       *chaosJitter,
+			SpikeProb:    *chaosSpikeProb,
+			SpikeDelay:   *chaosSpike,
+			BandwidthBps: *chaosBandwidth,
+		}})
 	}
 	defer net.Close()
 

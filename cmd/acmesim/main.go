@@ -46,6 +46,22 @@ func run() error {
 	sampleFrac := flag.Float64("sample-frac", 0, "per-round participation fraction in (0,1): each round every edge invites only a seeded sample of its live devices (0 = full participation)")
 	sampleSeed := flag.Int64("sample-seed", 0, "participation sampling seed (0 = derive from -seed)")
 	sharedShards := flag.Bool("shared-shards", false, "share one training shard per data group across its devices (memory scaling for thousands of simulated devices)")
+	chaosOn := flag.Bool("chaos", false, "wrap the in-memory transport in the seeded link-fault model (timing only — seeded results are identical with it on or off)")
+	chaosSeed := flag.Int64("chaos-seed", 0, "link-fault schedule seed (0 = derive from -seed)")
+	chaosBase := flag.Duration("chaos-base", 200*time.Microsecond, "chaos per-message base delay")
+	chaosJitter := flag.Duration("chaos-jitter", 2*time.Millisecond, "chaos uniform jitter on top of the base delay")
+	chaosSpikeProb := flag.Float64("chaos-spike-prob", 0.1, "chaos per-message probability of a latency spike")
+	chaosSpike := flag.Duration("chaos-spike", 10*time.Millisecond, "chaos extra delay of a latency spike")
+	chaosBandwidth := flag.Int64("chaos-bandwidth", 0, "chaos per-link bandwidth in bytes/s for serialization delay (0 = unlimited)")
+	byzStrategy := flag.String("byzantine", "", "byzantine strategy for the first -byzantine-count devices: inflate, fabricate, replay ('' = none)")
+	byzCount := flag.Int("byzantine-count", 1, "how many devices lie (IDs 0..count-1)")
+	byzProb := flag.Float64("byzantine-prob", 1, "per-round lie probability of each byzantine device")
+	byzFactor := flag.Float64("byzantine-factor", 0, "corruption scale: inflate multiplier / fabricate range (0 = default 10)")
+	byzSeed := flag.Int64("byzantine-seed", 0, "lie-draw seed (0 = derive from -seed)")
+	detect := flag.Bool("detect", false, "arm the edge-side statistical detector: Wasserstein anomaly scoring, suspect exclusion, strike-limit eviction")
+	detectK := flag.Float64("detect-k", 0, "detector MAD multiplier in the outlier threshold (0 = default 3)")
+	detectMargin := flag.Float64("detect-margin", 0, "detector relative slack on the median score (0 = default 0.5)")
+	detectStrikes := flag.Int("detect-strikes", 0, "flagged rounds before eviction (0 = default 2, negative = never evict)")
 	flag.Parse()
 
 	cfg := acme.DefaultConfig()
@@ -85,6 +101,34 @@ func run() error {
 	cfg.Fleet.SampleFrac = *sampleFrac
 	cfg.Fleet.SampleSeed = *sampleSeed
 	cfg.Fleet.SharedShards = *sharedShards
+	if *chaosOn {
+		cfg.Chaos = acme.ChaosOptions{
+			Enabled:      true,
+			Seed:         *chaosSeed,
+			BaseDelay:    *chaosBase,
+			Jitter:       *chaosJitter,
+			SpikeProb:    *chaosSpikeProb,
+			SpikeDelay:   *chaosSpike,
+			BandwidthBps: *chaosBandwidth,
+		}
+	}
+	if *byzStrategy != "" {
+		cfg.Fleet.Byzantine = acme.ByzantineOptions{
+			Strategy: *byzStrategy,
+			Count:    *byzCount,
+			Prob:     *byzProb,
+			Factor:   *byzFactor,
+			Seed:     *byzSeed,
+		}
+	}
+	if *detect {
+		cfg.Fleet.Detect = acme.DetectOptions{
+			Enabled:     true,
+			K:           *detectK,
+			Margin:      *detectMargin,
+			StrikeLimit: *detectStrikes,
+		}
+	}
 
 	switch *level {
 	case "IID":
@@ -194,6 +238,7 @@ func run() error {
 	if len(res.Phase2Rounds) > 0 {
 		fmt.Println("\nphase 2-2 importance loop (per edge round):")
 		var cutoffs, resyncs, staleDrops int
+		var suspects, evictions []string
 		for _, rs := range res.Phase2Rounds {
 			fmt.Printf("  edge-%d round %d: up %7d B (%d dense + %d delta msgs), down %7d B (%d dense + %d delta msgs), gather %.2fms, aggregate %.2fms, downlink %.2fms\n",
 				rs.EdgeID, rs.Round, rs.UploadBytes, rs.DenseMessages, rs.DeltaMessages,
@@ -202,10 +247,19 @@ func run() error {
 			cutoffs += rs.CutoffCount
 			resyncs += rs.ResyncCount
 			staleDrops += rs.StaleMessages
+			for _, id := range rs.Suspects {
+				suspects = append(suspects, fmt.Sprintf("device-%d@r%d", id, rs.Round))
+			}
+			for _, id := range rs.EvictedDevices {
+				evictions = append(evictions, fmt.Sprintf("device-%d@r%d", id, rs.Round))
+			}
 		}
 		if cutoffs+resyncs+staleDrops > 0 {
 			fmt.Printf("  churn: %d straggler cutoffs, %d resyncs, %d stale uploads dropped\n",
 				cutoffs, resyncs, staleDrops)
+		}
+		if len(suspects)+len(evictions) > 0 {
+			fmt.Printf("  detection: flagged %v, evicted %v\n", suspects, evictions)
 		}
 	}
 

@@ -10,8 +10,11 @@
 // smaller-is-better wire volumes and compared across files for configs
 // sharing a name. A "*_bytes_total" object value (such as the per-kind
 // "kind_bytes_total" map introduced in BENCH_7) is flattened into one
-// gated metric per kind. Metrics or configs present in only one file
-// are reported but do not fail the run.
+// gated metric per kind. Detection-quality metrics (BENCH_8's
+// adversarial matrix) are gated on absolute points rather than ratios:
+// a "*_tpr" metric fails when it drops by more than 0.05, a "*_fpr"
+// metric fails when it rises by more than 0.05. Metrics or configs
+// present in only one file are reported but do not fail the run.
 //
 //	benchcmp            # compare the two newest BENCH_*.json in .
 //	benchcmp A.json B.json  # compare A (older) against B (newer)
@@ -31,6 +34,11 @@ import (
 const (
 	regressionLimit = 1.10 // fail when newer > older × this
 	regressionPct   = 10   // regressionLimit as a percentage, for messages
+
+	// Detection metrics are rates in [0,1]; their gate is absolute
+	// points, not a ratio (a TPR of 0.02 doubling to 0.04 is noise, a
+	// TPR of 0.9 falling to 0.8 is a broken detector).
+	detectionSlack = 0.05 // fail when TPR drops / FPR rises more than this
 )
 
 func main() {
@@ -101,7 +109,8 @@ func wireMetrics(path string) (map[string]map[string]float64, error) {
 		}
 		metrics := make(map[string]float64)
 		for k, v := range obj {
-			if !strings.HasSuffix(k, "_bytes_total") {
+			if !strings.HasSuffix(k, "_bytes_total") &&
+				!strings.HasSuffix(k, "_tpr") && !strings.HasSuffix(k, "_fpr") {
 				continue
 			}
 			switch t := v.(type) {
@@ -177,6 +186,24 @@ func run(args []string) error {
 			now := cur[name][k]
 			compared++
 			status := "ok"
+			switch {
+			case strings.HasSuffix(k, "_tpr"):
+				if now < was-detectionSlack {
+					status = "REGRESSION"
+					regressions++
+				}
+				fmt.Printf("  %-28s %-28s %12.3f → %12.3f (%+.3f) %s\n",
+					name, k, was, now, now-was, status)
+				continue
+			case strings.HasSuffix(k, "_fpr"):
+				if now > was+detectionSlack {
+					status = "REGRESSION"
+					regressions++
+				}
+				fmt.Printf("  %-28s %-28s %12.3f → %12.3f (%+.3f) %s\n",
+					name, k, was, now, now-was, status)
+				continue
+			}
 			if was > 0 && now > was*regressionLimit {
 				status = "REGRESSION"
 				regressions++

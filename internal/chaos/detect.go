@@ -1,0 +1,190 @@
+package chaos
+
+// Edge-side statistical detection of Byzantine uploads. The anomaly
+// score is the machinery the edge already trusts for clustering:
+// internal/wasserstein's 1-D optimal-transport distance. Each device's
+// uploaded importance values (downsampled to a fixed budget) are
+// compared against the pooled values of every other device in the
+// round; a device whose distribution sits far outside the cluster's —
+// past a robust median + K·MAD threshold — is flagged, and repeat
+// offenders cross the strike limit into eviction.
+
+import (
+	"sort"
+
+	"acme/internal/wasserstein"
+)
+
+// Detector scores one cluster's uploads round by round and tracks
+// repeat offenders. It is not safe for concurrent use; each edge owns
+// one.
+type Detector struct {
+	// K is the MAD multiplier in the outlier threshold
+	// median·(1+margin) + K·MAD. Zero selects the default of 3.
+	K float64
+	// Margin is the relative slack on the median, guarding against a
+	// near-zero MAD when honest uploads are nearly identical. Zero
+	// selects the default of 0.5.
+	Margin float64
+	// StrikeLimit is how many flagged rounds evict a device. Zero
+	// selects the default of 2; negative disables eviction.
+	StrikeLimit int
+	// MaxValues bounds the per-device sample the distance runs on.
+	// Zero selects the default of 512.
+	MaxValues int
+
+	strikes map[int]int
+	evicted map[int]bool
+}
+
+// Verdict is one round's detection outcome.
+type Verdict struct {
+	// Scores is each inspected device's anomaly score: the Wasserstein
+	// distance between its upload values and the pooled values of the
+	// round's other devices.
+	Scores map[int]float64
+	// Threshold is the robust outlier cut applied to Scores.
+	Threshold float64
+	// Suspects lists the devices flagged this round, ascending.
+	Suspects []int
+	// Evicted lists the devices whose strike count crossed the limit
+	// this round, ascending. Each device is reported at most once.
+	Evicted []int
+}
+
+func (d *Detector) k() float64 {
+	if d.K <= 0 {
+		return 3
+	}
+	return d.K
+}
+
+func (d *Detector) margin() float64 {
+	if d.Margin <= 0 {
+		return 0.5
+	}
+	return d.Margin
+}
+
+func (d *Detector) strikeLimit() int {
+	if d.StrikeLimit == 0 {
+		return 2
+	}
+	return d.StrikeLimit
+}
+
+func (d *Detector) maxValues() int {
+	if d.MaxValues <= 0 {
+		return 512
+	}
+	return d.MaxValues
+}
+
+// Downsample flattens layers into at most max values with a
+// deterministic stride, so the distance cost is bounded by the sample
+// budget, not the model size.
+func Downsample(layers [][]float64, max int) []float64 {
+	total := 0
+	for _, row := range layers {
+		total += len(row)
+	}
+	if total == 0 {
+		return nil
+	}
+	stride := 1
+	if total > max {
+		stride = (total + max - 1) / max
+	}
+	out := make([]float64, 0, (total+stride-1)/stride)
+	i := 0
+	for _, row := range layers {
+		for _, v := range row {
+			if i%stride == 0 {
+				out = append(out, v)
+			}
+			i++
+		}
+	}
+	return out
+}
+
+// Sample prepares one device's upload for Inspect: flatten and
+// downsample to the detector's value budget.
+func (d *Detector) Sample(layers [][]float64) []float64 {
+	return Downsample(layers, d.maxValues())
+}
+
+// median of xs, which it sorts in place.
+func median(xs []float64) float64 {
+	sort.Float64s(xs)
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
+}
+
+// Inspect scores one round's uploads (device ID → sampled values) and
+// updates the strike book. Rounds with fewer than three devices are
+// not scored: there is no distribution to be an outlier of.
+func (d *Detector) Inspect(samples map[int][]float64) Verdict {
+	v := Verdict{Scores: make(map[int]float64, len(samples))}
+	if len(samples) < 3 {
+		return v
+	}
+	ids := make([]int, 0, len(samples))
+	total := 0
+	for id, s := range samples {
+		ids = append(ids, id)
+		total += len(s)
+	}
+	sort.Ints(ids)
+	// Each device's score: distance between its sample and the pooled
+	// sample of everyone else this round.
+	pooled := make([]float64, 0, total)
+	for _, id := range ids {
+		pooled = pooled[:0]
+		for _, other := range ids {
+			if other != id {
+				pooled = append(pooled, samples[other]...)
+			}
+		}
+		v.Scores[id] = wasserstein.Distance1D(samples[id], pooled, 1)
+	}
+	scores := make([]float64, 0, len(ids))
+	for _, id := range ids {
+		scores = append(scores, v.Scores[id])
+	}
+	m := median(scores)
+	dev := make([]float64, len(scores))
+	for i, s := range scores {
+		dev[i] = s - m
+		if dev[i] < 0 {
+			dev[i] = -dev[i]
+		}
+	}
+	mad := median(dev)
+	v.Threshold = m*(1+d.margin()) + d.k()*mad
+	if d.strikes == nil {
+		d.strikes = make(map[int]int)
+		d.evicted = make(map[int]bool)
+	}
+	for _, id := range ids {
+		if v.Scores[id] <= v.Threshold {
+			continue
+		}
+		v.Suspects = append(v.Suspects, id)
+		d.strikes[id]++
+		if lim := d.strikeLimit(); lim > 0 && d.strikes[id] >= lim && !d.evicted[id] {
+			d.evicted[id] = true
+			v.Evicted = append(v.Evicted, id)
+		}
+	}
+	return v
+}
+
+// Strikes returns a device's accumulated flag count.
+func (d *Detector) Strikes(id int) int { return d.strikes[id] }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"acme/internal/chaos"
 	"acme/internal/cluster"
 	"acme/internal/data"
 	"acme/internal/nas"
@@ -127,6 +128,67 @@ func (p StragglerPolicy) Validate() error {
 	return nil
 }
 
+// ByzantineOptions injects adversarial devices into the fleet: the
+// first Count device IDs corrupt their importance uploads per
+// internal/chaos's Liar, with per-round lie probability Prob. Seeded
+// and deterministic, so the trial matrix's TPR/FPR numbers are
+// reproducible across runs and transports.
+type ByzantineOptions struct {
+	// Strategy is the corruption mode: "inflate", "fabricate",
+	// "replay", or "" (no Byzantine devices).
+	Strategy string
+	// Count is how many devices lie: those with ID < Count.
+	Count int
+	// Prob is each Byzantine device's per-round lie probability.
+	Prob float64
+	// Factor scales the corruption (0 = the chaos default of 10).
+	Factor float64
+	// Seed drives the per-(device, round) lie draws (0 = the run seed).
+	Seed int64
+}
+
+// Enabled reports whether any device is configured to lie.
+func (b ByzantineOptions) Enabled() bool {
+	return b.Strategy != "" && b.Count > 0 && b.Prob > 0
+}
+
+// Validate reports Byzantine-option errors.
+func (b ByzantineOptions) Validate() error {
+	if _, err := chaos.ParseStrategy(b.Strategy); err != nil {
+		return err
+	}
+	switch {
+	case b.Count < 0:
+		return fmt.Errorf("core: negative byzantine device count %d", b.Count)
+	case b.Prob < 0 || b.Prob > 1:
+		return fmt.Errorf("core: byzantine lie probability %v outside [0,1]", b.Prob)
+	case b.Factor < 0:
+		return fmt.Errorf("core: negative byzantine factor %v", b.Factor)
+	}
+	return nil
+}
+
+// DetectOptions enables edge-side statistical detection of Byzantine
+// uploads: each round the edge scores every device's upload by its
+// Wasserstein distance to the pooled uploads of the rest of the
+// cluster, excludes outliers from the similarity-weighted combine
+// (ResultPartial renormalizes over the devices that remain), and
+// evicts repeat offenders through the fleet registry (MEMBER-GONE).
+type DetectOptions struct {
+	Enabled bool
+	// K is the MAD multiplier in the outlier threshold (0 = chaos
+	// default of 3).
+	K float64
+	// Margin is the relative slack on the score median (0 = default 0.5).
+	Margin float64
+	// StrikeLimit is how many flagged rounds evict a device (0 =
+	// default 2; negative disables eviction).
+	StrikeLimit int
+	// MaxValues bounds the per-upload sample the score runs on (0 =
+	// default 512).
+	MaxValues int
+}
+
 // FleetOptions groups the fleet topology and the per-round
 // participation sampling that makes large fleets affordable: each
 // Phase 2-2 round invites only a sampled subset of the live membership,
@@ -151,6 +213,9 @@ type FleetOptions struct {
 	// data is no longer per-device unique within a group, so it is a
 	// simulation-scaling knob, not a protocol change.
 	SharedShards bool
+	// Byzantine injects lying devices; Detect is the edge-side defense.
+	Byzantine ByzantineOptions
+	Detect    DetectOptions
 }
 
 // Validate reports fleet-option errors.
@@ -158,12 +223,61 @@ func (f FleetOptions) Validate() error {
 	if f.SampleFrac < 0 || f.SampleFrac > 1 {
 		return fmt.Errorf("core: participation sample fraction %v outside [0,1]", f.SampleFrac)
 	}
-	return nil
+	return f.Byzantine.Validate()
 }
 
 // Sampling reports whether per-round participation sampling is active.
 func (f FleetOptions) Sampling() bool {
 	return f.SampleFrac > 0 && f.SampleFrac < 1
+}
+
+// ChaosOptions wraps the run's in-memory transport in the
+// internal/chaos link-fault model: every message is delayed per a
+// seeded per-pair schedule (base + jitter + spikes + serialization),
+// optionally duplicated. Chaos perturbs timing and delivery order,
+// never payloads, so seeded Results are identical with it on or off —
+// it exists to shake out ordering assumptions and to give the
+// adversarial trial matrix realistic link conditions. Disabled (the
+// zero value) leaves the transport untouched, byte-identical to the
+// pre-chaos pipeline.
+type ChaosOptions struct {
+	Enabled bool
+	// Seed drives the per-message schedule draws (0 = the run seed).
+	Seed int64
+	// Link knobs, mirroring chaos.Profile.
+	BaseDelay     time.Duration
+	Jitter        time.Duration
+	SpikeProb     float64
+	SpikeDelay    time.Duration
+	BandwidthBps  int64
+	DuplicateProb float64
+}
+
+// Profile converts the options to the chaos link profile.
+func (c ChaosOptions) Profile() chaos.Profile {
+	return chaos.Profile{
+		BaseDelay:     c.BaseDelay,
+		Jitter:        c.Jitter,
+		SpikeProb:     c.SpikeProb,
+		SpikeDelay:    c.SpikeDelay,
+		BandwidthBps:  c.BandwidthBps,
+		DuplicateProb: c.DuplicateProb,
+	}
+}
+
+// Validate reports chaos-option errors.
+func (c ChaosOptions) Validate() error {
+	switch {
+	case c.BaseDelay < 0 || c.Jitter < 0 || c.SpikeDelay < 0:
+		return fmt.Errorf("core: negative chaos delay (base %v, jitter %v, spike %v)", c.BaseDelay, c.Jitter, c.SpikeDelay)
+	case c.SpikeProb < 0 || c.SpikeProb > 1:
+		return fmt.Errorf("core: chaos spike probability %v outside [0,1]", c.SpikeProb)
+	case c.DuplicateProb < 0 || c.DuplicateProb > 1:
+		return fmt.Errorf("core: chaos duplicate probability %v outside [0,1]", c.DuplicateProb)
+	case c.BandwidthBps < 0:
+		return fmt.Errorf("core: negative chaos bandwidth %d", c.BandwidthBps)
+	}
+	return nil
 }
 
 // Config assembles every knob of a full ACME run.
@@ -256,6 +370,9 @@ type Config struct {
 	// Wire is the payload shaping: codec, quantization, sparsification.
 	Wire WireOptions
 
+	// Chaos injects seeded link faults into the in-memory transport.
+	Chaos ChaosOptions
+
 	Seed int64
 }
 
@@ -345,6 +462,24 @@ func (c Config) SampleSeed() int64 {
 	return c.Seed
 }
 
+// ChaosSeed returns the link-fault seed: the explicit Chaos.Seed, or
+// the run seed when unset.
+func (c Config) ChaosSeed() int64 {
+	if c.Chaos.Seed != 0 {
+		return c.Chaos.Seed
+	}
+	return c.Seed
+}
+
+// ByzantineSeed returns the lie-draw seed: the explicit
+// Fleet.Byzantine.Seed, or the run seed when unset.
+func (c Config) ByzantineSeed() int64 {
+	if c.Fleet.Byzantine.Seed != 0 {
+		return c.Fleet.Byzantine.Seed
+	}
+	return c.Seed
+}
+
 // Validate reports configuration errors.
 func (c Config) Validate() error {
 	if err := c.Backbone.Validate(); err != nil {
@@ -360,6 +495,9 @@ func (c Config) Validate() error {
 		return err
 	}
 	if err := c.Fleet.Validate(); err != nil {
+		return err
+	}
+	if err := c.Chaos.Validate(); err != nil {
 		return err
 	}
 	switch {

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"acme/internal/chaos"
 	"acme/internal/transport"
 )
 
@@ -29,7 +30,7 @@ func TestSystemTolerantOfDelaysAndReordering(t *testing.T) {
 
 	// Flaky run: same config, every delivery delayed up to 3ms.
 	mem := transport.NewMemory()
-	flaky := transport.NewFlaky(mem, 3*time.Millisecond, 42)
+	flaky := chaos.NewFlaky(mem, 3*time.Millisecond, 42)
 	sys, err := NewSystemWithNetwork(cfg, flaky)
 	if err != nil {
 		t.Fatal(err)
@@ -64,6 +65,51 @@ func TestSystemTolerantOfDelaysAndReordering(t *testing.T) {
 		}
 		if g.AccuracyFinal != w.AccuracyFinal || g.AccuracyCoarse != w.AccuracyCoarse {
 			t.Fatalf("device %d diverged under delays: %+v vs %+v", id, g, w)
+		}
+	}
+
+	// Third run through the Config.Chaos front door: the full link
+	// model (base delay + jitter + spikes + bandwidth serialization)
+	// wrapped around the in-memory transport by NewSystem itself.
+	// Chaos perturbs timing and order, never payloads, so the seeded
+	// results must match the reliable run bitwise.
+	chaosCfg := cfg
+	chaosCfg.Chaos = ChaosOptions{
+		Enabled:      true,
+		Seed:         7,
+		BaseDelay:    200 * time.Microsecond,
+		Jitter:       2 * time.Millisecond,
+		SpikeProb:    0.2,
+		SpikeDelay:   3 * time.Millisecond,
+		BandwidthBps: 8 << 20,
+	}
+	chaosSys, err := NewSystem(chaosCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn, ok := chaosSys.Net.(*chaos.Net)
+	if !ok {
+		t.Fatalf("Config.Chaos did not install the chaos transport: %T", chaosSys.Net)
+	}
+	got, err = chaosSys.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn.Wait()
+	if err := cn.Err(); err != nil {
+		t.Fatalf("chaos links reported errors: %v", err)
+	}
+	gotBy = byID(got.Reports)
+	if len(gotBy) != len(wantBy) {
+		t.Fatalf("chaos run produced %d reports, reliable %d", len(gotBy), len(wantBy))
+	}
+	for id, w := range wantBy {
+		g, ok := gotBy[id]
+		if !ok {
+			t.Fatalf("device %d missing from chaos run", id)
+		}
+		if g.AccuracyFinal != w.AccuracyFinal || g.AccuracyCoarse != w.AccuracyCoarse {
+			t.Fatalf("device %d diverged under chaos links: %+v vs %+v", id, g, w)
 		}
 	}
 }

@@ -2,12 +2,14 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
 	"time"
 
 	"acme/internal/aggregate"
+	"acme/internal/chaos"
 	"acme/internal/cluster"
 	"acme/internal/data"
 	"acme/internal/fleet"
@@ -29,6 +31,27 @@ const (
 	fullImportanceBatches     = 8
 	defaultIncrementalBatches = 2
 )
+
+// errEvicted ends a device loop whose edge evicted it (Byzantine
+// detection crossed the strike limit): the device exits without
+// reporting — the collector was told not to wait via MEMBER-GONE.
+var errEvicted = errors.New("core: device evicted by edge-side detection")
+
+// liarFor returns the Byzantine corruptor for a device, or nil for an
+// honest one. The first Fleet.Byzantine.Count device IDs lie.
+func (s *System) liarFor(devID int) *chaos.Liar {
+	b := s.Cfg.Fleet.Byzantine
+	if !b.Enabled() || devID >= b.Count {
+		return nil
+	}
+	return &chaos.Liar{
+		Strategy: chaos.Strategy(b.Strategy),
+		Prob:     b.Prob,
+		Factor:   b.Factor,
+		Seed:     s.Cfg.ByzantineSeed(),
+		Device:   devID,
+	}
+}
 
 // runCloud is Phase 1: pretrain the reference model on the public
 // dataset, receive per-cluster statistics from the edges, build the
@@ -411,6 +434,21 @@ func (s *System) runEdge(ctx context.Context, edgeID int) error {
 	// delta application copies into the shadow), inside the buffer
 	// lifetime the gather guarantees OnMessage.
 	foldArena := &wire.Arena{AliasInput: true}
+	// Byzantine screening (Config.Fleet.Detect): one detector per edge,
+	// strikes accumulated across rounds. In detection mode uploads are
+	// buffered per round instead of folded on arrival, scored after the
+	// gather by their Wasserstein distance to the pooled cluster, and
+	// only the unflagged ones enter the combine — the suspects' weight
+	// is renormalized away by ResultPartial.
+	var detect *chaos.Detector
+	var detectPending []*importance.Set
+	var detectSamples map[int][]float64
+	if s.Cfg.Fleet.Detect.Enabled {
+		d := s.Cfg.Fleet.Detect
+		detect = &chaos.Detector{K: d.K, Margin: d.Margin, StrikeLimit: d.StrikeLimit, MaxValues: d.MaxValues}
+		detectPending = make([]*importance.Set, len(order))
+		detectSamples = make(map[int][]float64, len(order))
+	}
 	for t := 0; t < s.Cfg.Phase2Rounds; t++ {
 		lastRound = t
 		comb, err := aggregate.NewCombiner(sim)
@@ -462,10 +500,20 @@ func (s *System) runEdge(ctx context.Context, edgeID int) error {
 				}
 				rs.DeltaMessages++
 			}
-			// A second upload for an already-folded position (device
-			// retransmission) surfaces here as a combiner error rather
-			// than silently replacing the first copy.
-			if err := comb.Add(p, &importance.Set{Layers: layers}); err != nil {
+			if detect != nil {
+				// Detection mode: hold the upload until the gather ends —
+				// a flagged one must never fold. The decoded layers are
+				// fresh float64 copies with round lifetime (same contract
+				// comb.Add relies on below), so buffering them is safe.
+				if detectPending[p] != nil {
+					return fmt.Errorf("%v from %s (device %d): duplicate upload for position %d", msg.Kind, msg.From, devID, p)
+				}
+				detectPending[p] = &importance.Set{Layers: layers}
+				detectSamples[p] = detect.Sample(layers)
+			} else if err := comb.Add(p, &importance.Set{Layers: layers}); err != nil {
+				// A second upload for an already-folded position (device
+				// retransmission) surfaces here as a combiner error rather
+				// than silently replacing the first copy.
 				return fmt.Errorf("%v from %s (device %d): %w", msg.Kind, msg.From, devID, err)
 			}
 			rs.UploadBytes += int64(len(msg.Payload)) + transport.HeaderEstimate
@@ -485,6 +533,16 @@ func (s *System) runEdge(ctx context.Context, edgeID int) error {
 					// that finished its part of the run (the cloud
 					// closes its transport after Phase 1) — lifecycle
 					// noise, not churn.
+					return false, nil
+				}
+				if rejoinRound[p] > t {
+					// A rejoin is already pending for this device: the
+					// LEAVE is its dead predecessor's shutdown
+					// announcement, delivered on the old connection
+					// *after* the successor's RESYNC overtook it on the
+					// new one. Honoring it would re-mark the reborn
+					// device departed and silently skip every downlink
+					// it is waiting on (the TestChurnRejoinTCP hang).
 					return false, nil
 				}
 				if !departed[p] {
@@ -642,6 +700,54 @@ func (s *System) runEdge(ctx context.Context, edgeID int) error {
 			shadows[p] = deltaDecoder{}
 			rs.CutoffCount++
 		}
+		// Byzantine screening: score the buffered uploads, fold only the
+		// unflagged ones (ascending position, preserving Combine's exact
+		// addition order), and evict repeat offenders through the fleet
+		// registry. A suspect's upload is excluded from the combine —
+		// ResultPartial renormalizes the similarity mass over the devices
+		// that remain — but a suspect below the strike limit stays in the
+		// loop and still receives its personalized downlink.
+		if detect != nil {
+			verdict := detect.Inspect(detectSamples)
+			suspect := make(map[int]bool, len(verdict.Suspects))
+			for _, p := range verdict.Suspects {
+				suspect[p] = true
+				rs.Suspects = append(rs.Suspects, idByPos[p])
+			}
+			for p := range order {
+				if detectPending[p] == nil || suspect[p] {
+					continue
+				}
+				if err := comb.Add(p, detectPending[p]); err != nil {
+					return err
+				}
+			}
+			for _, p := range verdict.Evicted {
+				rs.EvictedDevices = append(rs.EvictedDevices, idByPos[p])
+				// Registry eviction: epoch bump, MEMBER-GONE to the
+				// collector (stop waiting for this device's report), and
+				// the eviction notice to the device itself — its signal
+				// to exit without reporting. The device is dropped from
+				// every remaining round.
+				reg.Leave(nameByPos[p])
+				if !departed[p] {
+					if err := ses.SendControl("collector", wire.ControlRecord{
+						Type: wire.ControlMemberGone, Node: name, Device: idByPos[p],
+					}); err != nil {
+						return err
+					}
+				}
+				departed[p] = true
+				shadows[p] = deltaDecoder{}
+				_ = ses.SendControl(nameByPos[p], wire.ControlRecord{
+					Type: wire.ControlMemberGone, Device: idByPos[p], Round: t,
+				})
+			}
+			for p := range detectPending {
+				detectPending[p] = nil
+			}
+			clear(detectSamples)
+		}
 		if comb.Added() == 0 {
 			// Nothing arrived (every live member resynced or left):
 			// there is no combine this round. Under sampling the cut
@@ -773,18 +879,22 @@ func (s *System) runEdge(ctx context.Context, edgeID int) error {
 			break
 		}
 	}
-	// Close every loop the final downlink didn't. Under sampling, a
-	// device that was not invited to the final round is still waiting
-	// for its next invite; without it, only a device that resynced
-	// during the final round expects a round that will never run.
+	// Close every loop the final downlink didn't: a device that was not
+	// invited to the final sampled round, one that resynced during the
+	// final round and expects a round that will never run, or one whose
+	// final-round notification was lost to a churn race. Any device the
+	// edge has not positively told the run is over gets a Done cutoff
+	// here — best-effort, but over a live link it is what unblocks a
+	// loop stuck in Recv after every other role has exited.
 	for i := range order {
-		if sampling {
-			if !departed[i] && !doneTold[i] {
-				sendCutoff(i, lastRound, true)
-			}
-		} else if rejoinRound[i] > lastRound {
-			sendCutoff(i, rejoinRound[i], true)
+		if departed[i] || doneTold[i] {
+			continue
 		}
+		round := lastRound
+		if rejoinRound[i] > lastRound {
+			round = rejoinRound[i]
+		}
+		sendCutoff(i, round, true)
 	}
 	return nil
 }
@@ -883,10 +993,16 @@ func (s *System) recoverFromLostUplink(ctx context.Context, ses *transport.Sessi
 		if rerr != nil {
 			continue
 		}
-		if rec.Type == wire.ControlRoundCutoff && rec.Round == round {
+		if rec.Type == wire.ControlMemberGone {
+			// Evicted by the edge's Byzantine detector mid-failure: the
+			// eviction notice explains the dead uplink.
+			return false, errEvicted
+		}
+		if rec.Type == wire.ControlRoundCutoff && (rec.Round == round || rec.Done) {
 			// The edge combined without us and dropped our uplink
 			// shadow; restart the encoder cold like the in-band cutoff
-			// path does.
+			// path does. A Done cutoff counts whatever round it stamps:
+			// the end-of-run broadcast may trail our self-paced round.
 			if enc != nil {
 				*enc = deltaEncoder{mode: s.Cfg.Wire.Quantization}
 			}
@@ -1094,6 +1210,12 @@ func (s *System) deviceRefineAndReport(ctx context.Context, ses *transport.Sessi
 
 	// 4. Single-loop refinement (Algorithm 2, device side).
 	if err := s.deviceLoop(ctx, ses, dev, edgeID, rng, local, header, startRound); err != nil {
+		if errors.Is(err, errEvicted) {
+			// Evicted by the edge's Byzantine detector: exit silently —
+			// the collector already heard MEMBER-GONE and a report now
+			// would race the run's shutdown.
+			return nil
+		}
 		return err
 	}
 	accFinal, err := nn.Evaluate(header, test.X, test.Y)
@@ -1148,6 +1270,7 @@ func (s *System) deviceLoop(ctx context.Context, ses *transport.Session, dev clu
 		enc = &deltaEncoder{mode: s.Cfg.Wire.Quantization}
 	}
 	var downDec deltaDecoder
+	liar := s.liarFor(dev.ID)
 	refresh := s.Cfg.ImportanceRefreshPeriod
 	incremental := refresh > 1
 	incBatches := s.Cfg.IncrementalBatches
@@ -1190,9 +1313,16 @@ func (s *System) deviceLoop(ctx context.Context, ses *transport.Session, dev clu
 			return err
 		}
 		drs.ImportanceNS = time.Since(start).Nanoseconds()
+		// Byzantine corruption touches only the wire copy: the device's
+		// own training state stays honest, so an inflated or fabricated
+		// upload poisons the cluster's aggregate, not the liar itself.
+		upLayers := set.Layers
+		if liar != nil {
+			upLayers = liar.Corrupt(t, upLayers)
+		}
 		var sendErr error
 		if enc != nil {
-			up, err := enc.encode(dev.ID, t, set.Layers)
+			up, err := enc.encode(dev.ID, t, upLayers)
 			if err != nil {
 				return err
 			}
@@ -1200,14 +1330,14 @@ func (s *System) deviceLoop(ctx context.Context, ses *transport.Session, dev clu
 		} else {
 			up := ImportanceUpload{DeviceID: dev.ID}
 			if topK {
-				up.Sparse = sparsifySet(set.Layers, s.Cfg.Wire.TopKFraction)
+				up.Sparse = sparsifySet(upLayers, s.Cfg.Wire.TopKFraction)
 			} else if s.Cfg.Wire.Quantization != QuantLossless {
-				up.Quant, err = quantizeLayers(set.Layers, s.Cfg.Wire.Quantization)
+				up.Quant, err = quantizeLayers(upLayers, s.Cfg.Wire.Quantization)
 				if err != nil {
 					return err
 				}
 			} else {
-				up.Layers = quantizeSet(set.Layers)
+				up.Layers = quantizeSet(upLayers)
 			}
 			sendErr = s.sendRound(transport.KindImportanceSet, name, edge, t, up)
 		}
@@ -1259,12 +1389,22 @@ func (s *System) deviceLoop(ctx context.Context, ses *transport.Session, dev clu
 			if err != nil {
 				return err
 			}
+			if rec.Type == wire.ControlMemberGone && msg.From == edge {
+				// Evicted: the edge's detector crossed the strike limit
+				// on our uploads. Exit without reporting.
+				return errEvicted
+			}
 			if rec.Type != wire.ControlRoundCutoff || msg.From != edge {
 				return fmt.Errorf("unexpected %v control from %s during refinement round %d", rec.Type, msg.From, t)
 			}
-			if rec.Round != t {
+			if rec.Round != t && !rec.Done {
 				return fmt.Errorf("round-cutoff from %s carries round %d during round %d", msg.From, rec.Round, t)
 			}
+			// A Done cutoff is accepted regardless of its round stamp:
+			// the edge's end-of-loop backstop stamps its own final
+			// round, which can trail a rejoined device's self-paced
+			// position, but its meaning — no more downlinks, ever — is
+			// position-independent.
 			// The edge combined this round without our upload and
 			// invalidated its copy of our uplink shadow; restart the
 			// encoder cold so the next upload re-seeds it dense. The
@@ -1319,6 +1459,7 @@ func (s *System) deviceSampledLoop(ctx context.Context, ses *transport.Session, 
 		enc = &deltaEncoder{mode: s.Cfg.Wire.Quantization}
 	}
 	var downDec deltaDecoder
+	liar := s.liarFor(dev.ID)
 	acc := importance.NewAccumulator()
 	last := startRound - 1
 	for {
@@ -1350,6 +1491,10 @@ func (s *System) deviceSampledLoop(ctx context.Context, ses *transport.Session, 
 				if enc != nil {
 					*enc = deltaEncoder{mode: s.Cfg.Wire.Quantization}
 				}
+			case wire.ControlMemberGone:
+				// Evicted by the edge's Byzantine detector: no more
+				// invites are coming. Exit without reporting.
+				return errEvicted
 			default:
 				return fmt.Errorf("unexpected %v control from %s while awaiting a round invite", rec.Type, msg.From)
 			}
@@ -1384,9 +1529,16 @@ func (s *System) deviceSampledLoop(ctx context.Context, ses *transport.Session, 
 			return err
 		}
 		drs.ImportanceNS = time.Since(start).Nanoseconds()
+		// Byzantine corruption touches only the wire copy: the device's
+		// own training state stays honest, so an inflated or fabricated
+		// upload poisons the cluster's aggregate, not the liar itself.
+		upLayers := set.Layers
+		if liar != nil {
+			upLayers = liar.Corrupt(t, upLayers)
+		}
 		var sendErr error
 		if enc != nil {
-			up, err := enc.encode(dev.ID, t, set.Layers)
+			up, err := enc.encode(dev.ID, t, upLayers)
 			if err != nil {
 				return err
 			}
@@ -1394,14 +1546,14 @@ func (s *System) deviceSampledLoop(ctx context.Context, ses *transport.Session, 
 		} else {
 			up := ImportanceUpload{DeviceID: dev.ID}
 			if topK {
-				up.Sparse = sparsifySet(set.Layers, s.Cfg.Wire.TopKFraction)
+				up.Sparse = sparsifySet(upLayers, s.Cfg.Wire.TopKFraction)
 			} else if s.Cfg.Wire.Quantization != QuantLossless {
-				up.Quant, err = quantizeLayers(set.Layers, s.Cfg.Wire.Quantization)
+				up.Quant, err = quantizeLayers(upLayers, s.Cfg.Wire.Quantization)
 				if err != nil {
 					return err
 				}
 			} else {
-				up.Layers = quantizeSet(set.Layers)
+				up.Layers = quantizeSet(upLayers)
 			}
 			sendErr = s.sendRound(transport.KindImportanceSet, name, edge, t, up)
 		}
@@ -1429,12 +1581,22 @@ func (s *System) deviceSampledLoop(ctx context.Context, ses *transport.Session, 
 			if err != nil {
 				return err
 			}
+			if rec.Type == wire.ControlMemberGone && msg.From == edge {
+				// Evicted: the edge's detector crossed the strike limit
+				// on our uploads. Exit without reporting.
+				return errEvicted
+			}
 			if rec.Type != wire.ControlRoundCutoff || msg.From != edge {
 				return fmt.Errorf("unexpected %v control from %s during refinement round %d", rec.Type, msg.From, t)
 			}
-			if rec.Round != t {
+			if rec.Round != t && !rec.Done {
 				return fmt.Errorf("round-cutoff from %s carries round %d during round %d", msg.From, rec.Round, t)
 			}
+			// A Done cutoff is accepted regardless of its round stamp:
+			// the edge's end-of-loop backstop stamps its own final
+			// round, which can trail a rejoined device's self-paced
+			// position, but its meaning — no more downlinks, ever — is
+			// position-independent.
 			if enc != nil {
 				*enc = deltaEncoder{mode: s.Cfg.Wire.Quantization}
 			}

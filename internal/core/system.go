@@ -8,6 +8,7 @@ import (
 	"sort"
 	"sync"
 
+	"acme/internal/chaos"
 	"acme/internal/cluster"
 	"acme/internal/data"
 	"acme/internal/nas"
@@ -53,6 +54,15 @@ type Phase2RoundStat struct {
 	// Zero/empty when sampling is off (full participation).
 	SampledCount int
 	Sampled      []int
+
+	// Byzantine detection (Config.Fleet.Detect): the device IDs this
+	// round's statistical screen flagged (their uploads were excluded
+	// from the combine and the similarity mass renormalized over the
+	// rest) and the IDs whose strike count crossed the limit and were
+	// evicted through the fleet registry. Empty when detection is off
+	// or nothing was flagged.
+	Suspects       []int
+	EvictedDevices []int
 
 	// Downlink direction: the personalized sets streamed back to the
 	// cluster as each round's combine finalizes.
@@ -291,6 +301,14 @@ func NewSystem(cfg Config) (*System, error) {
 		mem.Register(d.Name(), 64)
 	}
 	mem.Register("collector", 4*len(devices))
+	if cfg.Chaos.Enabled {
+		// The chaos wrapper perturbs delivery timing and order, never
+		// payloads, so seeded Results are identical with it on or off.
+		s.Net = chaos.New(mem, chaos.Options{
+			Seed:    cfg.ChaosSeed(),
+			Default: cfg.Chaos.Profile(),
+		})
+	}
 	return s, nil
 }
 

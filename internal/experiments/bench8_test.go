@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"testing"
+
+	"acme/internal/core"
+)
+
+// TestBench8ConfigsValid: every trial-matrix combination must pass
+// system validation — strategies, probabilities, and link profiles
+// alike.
+func TestBench8ConfigsValid(t *testing.T) {
+	scen := bench8Scenario{
+		Edges: 1, Devices: 6, Byzantine: 2, Rounds: 6, Trials: 1,
+		BaseSeed: 1, StrikeLimit: 2, DetectorK: 4, DetectorMargin: 1.0,
+	}
+	for _, strat := range []string{"", "inflate", "fabricate", "replay"} {
+		for _, lp := range bench8LinkProfiles {
+			cfg := bench8BaseConfig(scen)
+			cfg.Chaos = lp.opts
+			if strat != "" {
+				cfg.Fleet.Byzantine = core.ByzantineOptions{Strategy: strat, Count: scen.Byzantine, Prob: 0.5}
+			}
+			if err := cfg.Validate(); err != nil {
+				t.Errorf("strategy %q link %s: %v", strat, lp.name, err)
+			}
+		}
+	}
+}
+
+// TestBench8Accounting pins the TPR/FPR/rounds-to-detect arithmetic on
+// a synthetic pair of trial results.
+func TestBench8Accounting(t *testing.T) {
+	var acc bench8Acc
+	// Trial 1: both liars flagged (device 0 at round 1, device 1 at
+	// round 2), device 0 evicted; honest device 3 falsely flagged once;
+	// every honest device reports.
+	acc.fold(&core.Result{
+		Phase2Rounds: []core.Phase2RoundStat{
+			{Round: 1, Suspects: []int{0, 3}},
+			{Round: 2, Suspects: []int{0, 1}, EvictedDevices: []int{0}},
+		},
+		Reports: []core.DeviceReport{{DeviceID: 2}, {DeviceID: 3}, {DeviceID: 4}, {DeviceID: 5}},
+	}, 2, 6)
+	// Trial 2: nothing detected, everyone reports.
+	acc.fold(&core.Result{
+		Reports: []core.DeviceReport{
+			{DeviceID: 0}, {DeviceID: 1}, {DeviceID: 2},
+			{DeviceID: 3}, {DeviceID: 4}, {DeviceID: 5},
+		},
+	}, 2, 6)
+
+	var c bench8Cell
+	acc.cell(&c)
+	if c.DetectionTPR != 0.5 { // 2 of 4 byzantine device-trials flagged
+		t.Errorf("TPR %v, want 0.5", c.DetectionTPR)
+	}
+	if c.DetectionFPR != 0.125 { // 1 of 8 honest device-trials flagged
+		t.Errorf("FPR %v, want 0.125", c.DetectionFPR)
+	}
+	if c.EvictionRate != 0.25 { // 1 of 4 byzantine device-trials evicted
+		t.Errorf("eviction rate %v, want 0.25", c.EvictionRate)
+	}
+	if c.MeanRoundsToDetect != 1.5 { // rounds 1 and 2
+		t.Errorf("rounds to detect %v, want 1.5", c.MeanRoundsToDetect)
+	}
+	if c.HonestReportRate != 1.0 {
+		t.Errorf("honest report rate %v, want 1.0", c.HonestReportRate)
+	}
+
+	var empty bench8Acc
+	var e bench8Cell
+	empty.cell(&e)
+	if e.MeanRoundsToDetect != -1 {
+		t.Errorf("undetected sentinel %v, want -1", e.MeanRoundsToDetect)
+	}
+}

@@ -53,7 +53,9 @@ func TestReadFrameErrorPathsReturnBuffer(t *testing.T) {
 	}
 	// Every error path returned its buffer, so the sequence needed at
 	// most one construction (the later frames reuse the first buffer).
-	if *allocs > 1 {
+	// The race runtime randomly discards sync.Pool puts, so the exact
+	// count only holds on non-race builds.
+	if *allocs > 1 && !raceEnabled {
 		t.Fatalf("%d corrupt frames constructed %d buffers, want 1 (error paths must return buffers to the pool)", len(corrupt), *allocs)
 	}
 }
@@ -88,12 +90,13 @@ func TestReadFrameReleaseRecyclesBuffer(t *testing.T) {
 	}
 
 	// Dropping the last references returns both buffers; two further
-	// reads then construct nothing new.
+	// reads then construct nothing new. (Race builds randomly discard
+	// sync.Pool puts, so the exact count only holds without -race.)
 	first.Release()
 	second.Release()
 	read().Release()
 	read().Release()
-	if *allocs != 2 {
+	if *allocs != 2 && !raceEnabled {
 		t.Fatalf("released buffers were not recycled (%d constructions, want 2)", *allocs)
 	}
 }

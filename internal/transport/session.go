@@ -19,7 +19,7 @@ import (
 // straggler cutoff and churn-tolerant rejoin possible. The underlying
 // Network supplies delivery — supervised, reconnecting links on TCP,
 // channels in memory — so a Session composes with Memory, TCP, and
-// Flaky alike.
+// fault-injecting wrappers (chaos.Net) alike.
 type Session struct {
 	node string
 	net  Network

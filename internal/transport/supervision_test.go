@@ -191,52 +191,3 @@ func TestHeaderEstimateMatchesFrameOverhead(t *testing.T) {
 		t.Fatalf("received stats %d, want %d", got, wantBytes)
 	}
 }
-
-// TestFlakyForwardsFullTransport: Flaky must compose with the session
-// API by forwarding the complete Transport surface of whatever it
-// wraps — TCP addressing and peer tables included.
-func TestFlakyForwardsFullTransport(t *testing.T) {
-	inner, err := NewTCP("a", "127.0.0.1:0", nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	f := NewFlaky(inner, time.Millisecond, 1)
-	var tr Transport = f // compile-time and runtime interface check
-	if tr.Addr() != inner.Addr() {
-		t.Fatalf("Addr %q does not forward inner %q", tr.Addr(), inner.Addr())
-	}
-	if tr.Stats() != inner.Stats() {
-		t.Fatal("Stats does not forward the inner counters")
-	}
-	b, err := NewTCP("b", "127.0.0.1:0", nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer b.Close()
-	tr.SetPeers(map[string]string{"a": inner.Addr(), "b": b.Addr()})
-	if err := tr.Send(Message{Kind: KindControl, From: "a", To: "b", Payload: []byte("via flaky+tcp")}); err != nil {
-		t.Fatal(err)
-	}
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-	defer cancel()
-	msg, err := b.Recv(ctx, "b")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if string(msg.Payload) != "via flaky+tcp" {
-		t.Fatalf("payload %q", msg.Payload)
-	}
-	// Close must tear down the wrapped TCP node.
-	if err := tr.Close(); err != nil {
-		t.Fatal(err)
-	}
-	if err := inner.Send(Message{Kind: KindControl, From: "a", To: "b"}); err == nil {
-		t.Fatal("inner TCP still alive after Flaky.Close")
-	}
-	// Memory wrapped in Flaky keeps a defined address and counters.
-	mf := NewFlaky(NewMemory(), time.Millisecond, 1)
-	if mf.Addr() == "" || mf.Stats() == nil {
-		t.Fatal("flaky-over-memory lacks transport surface")
-	}
-	mf.SetPeers(nil) // no-op, must not panic
-}

@@ -221,15 +221,19 @@ func (t *TCP) adoptConn(peer string, conn net.Conn) {
 
 // peerLeft marks a peer's deliberate shutdown and drops any send path
 // to it: subsequent Sends fail fast instead of redialing into a closed
-// listener.
+// listener. A LEAVE is only honored when the cached send path is the
+// connection it arrived on (or none): if a *different* connection has
+// been adopted since, the peer already restarted and JOINed — the
+// LEAVE is the dead predecessor's last word, delayed behind its
+// successor's handshake, and acting on it would tear down the fresh
+// link and fail every send to a live peer.
 func (t *TCP) peerLeft(peer string, conn net.Conn) {
 	l := t.link(peer)
 	l.mu.Lock()
-	l.left = true
-	if l.conn != nil && l.conn != conn {
-		l.conn.Close()
+	if l.conn == nil || l.conn == conn {
+		l.left = true
+		l.conn = nil
 	}
-	l.conn = nil
 	l.mu.Unlock()
 }
 

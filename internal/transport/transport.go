@@ -148,8 +148,8 @@ type Network interface {
 // multi-process deployments rely on: message movement plus peer-table
 // rebinding (late-bound addresses on TCP; a no-op in memory),
 // addressing, traffic accounting, and lifecycle shutdown. Memory, TCP,
-// and Flaky all implement it, so the session API composes with any of
-// them — including Flaky wrapped around TCP.
+// and the chaos link-fault wrapper all implement it, so the session
+// API composes with any of them — including chaos wrapped around TCP.
 type Transport interface {
 	Network
 	// SetPeers replaces the node name → address table.
