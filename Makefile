@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-json3 bench-json4 bench-json5 bench-json6 bench-json7 bench-compare churn-smoke fleet-smoke chaos-smoke fuzz fmt fmt-check vet ci
+.PHONY: all build test race bench bench-json bench-json3 bench-json4 bench-json5 bench-json6 bench-json7 bench-json8 bench-compare churn-smoke fleet-smoke chaos-smoke restore-smoke fuzz fmt fmt-check vet ci
 
 all: build test
 
@@ -18,11 +18,16 @@ race:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./internal/tensor ./internal/wire ./internal/core ./internal/aggregate ./internal/importance
 
-# bench-json regenerates BENCH_8.json: the adversarial trial matrix —
-# detection TPR/FPR/eviction by Byzantine strategy × lie probability ×
-# link profile — plus the BENCH_7 continuity configs (dense/delta wire
-# bytes, chaos and detection off, byte-identical).
+# bench-json regenerates BENCH_9.json: the kill/restore equivalence
+# trial (reports bitwise-identical after an edge crash + restore), the
+# checkpoint durability tax (median wall overhead, gated < 5%), the
+# adversarial trial matrix re-run with the replay screen armed, and the
+# BENCH_7 continuity configs (dense/delta wire bytes, byte-identical).
 bench-json:
+	$(GO) run ./cmd/acmebench -exp bench9 -bench9json BENCH_9.json
+
+# bench-json8 regenerates the PR 8 adversarial-matrix trajectory.
+bench-json8:
 	$(GO) run ./cmd/acmebench -exp bench8 -bench8json BENCH_8.json
 
 # bench-json7 regenerates the PR 7 wire-floor trajectory.
@@ -71,9 +76,17 @@ chaos-smoke:
 fleet-smoke:
 	$(GO) test -run 'TestFleetSmoke' -count=1 -v ./internal/core
 
+# restore-smoke kills an edge mid-loop over loopback TCP (sockets torn
+# down), restarts it on the same address, and restores it from its
+# durable checkpoint — asserting the finished run's reports are
+# bitwise-identical to the same seeded run left uninterrupted.
+restore-smoke:
+	$(GO) test -run 'TestRestoreSmokeTCP' -count=1 -v -timeout 600s ./internal/core
+
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=20s ./internal/wire
 	$(GO) test -run='^$$' -fuzz=FuzzReadFrame -fuzztime=20s ./internal/transport
+	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=20s ./internal/checkpoint
 
 fmt:
 	gofmt -w .
@@ -86,4 +99,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: fmt-check vet build test race bench bench-compare churn-smoke fleet-smoke chaos-smoke
+ci: fmt-check vet build test race bench bench-compare churn-smoke fleet-smoke chaos-smoke restore-smoke

@@ -69,6 +69,11 @@ type DetectOptions = core.DetectOptions
 // and bandwidth serialization — timing only, never payloads.
 type ChaosOptions = core.ChaosOptions
 
+// CheckpointOptions arms durable checkpoint/restore of mid-flight
+// sessions (Config.Checkpoint): versioned, CRC-guarded snapshots at
+// round boundaries, restored with System.ResumeRole.
+type CheckpointOptions = core.CheckpointOptions
+
 // FleetMember is one registered device in a session's membership
 // registry: liveness, epoch of the last change, and per-round traffic
 // history.

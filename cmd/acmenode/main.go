@@ -55,6 +55,10 @@ func run() error {
 	sampleSeed := flag.Int64("sample-seed", 0, "participation sampling seed, 0 = derive from -seed (identical across processes)")
 	sharedShards := flag.Bool("shared-shards", false, "share one training shard per data group across its devices (identical across processes)")
 	rejoin := flag.Bool("rejoin", false, "device roles only: rejoin a run already in progress via a dense resync instead of the setup handshake")
+	ckptPath := flag.String("ckpt-path", "", "checkpoint directory: write durable session snapshots at round boundaries (identical across processes)")
+	ckptEvery := flag.Int("ckpt-every", 0, "snapshot every Nth round (0 or 1 = every round; identical across processes)")
+	ckptFsync := flag.Bool("ckpt-fsync", false, "fsync snapshots to stable storage before they count (identical across processes)")
+	restore := flag.Bool("restore", false, "edge and device roles: restore this role from its -ckpt-path snapshot and re-enter the run in progress")
 	chaosOn := flag.Bool("chaos", false, "wrap this node's transport in the seeded link-fault model (timing only; per-node — a mixed fleet interoperates)")
 	chaosSeed := flag.Int64("chaos-seed", 0, "link-fault schedule seed (0 = derive from -seed)")
 	chaosBase := flag.Duration("chaos-base", 200*time.Microsecond, "chaos per-message base delay")
@@ -71,6 +75,7 @@ func run() error {
 	detectK := flag.Float64("detect-k", 0, "detector MAD multiplier (0 = default 3, identical across processes)")
 	detectMargin := flag.Float64("detect-margin", 0, "detector median slack (0 = default 0.5, identical across processes)")
 	detectStrikes := flag.Int("detect-strikes", 0, "flagged rounds before eviction (0 = default 2, negative = never evict; identical across processes)")
+	detectReplay := flag.Float64("detect-replay", 0, "flag devices whose uploads repeat verbatim in at least this fraction of scored rounds (0 = off; identical across processes)")
 	flag.Parse()
 
 	if *role == "" || *listen == "" || *peers == "" {
@@ -125,6 +130,14 @@ func run() error {
 			K:           *detectK,
 			Margin:      *detectMargin,
 			StrikeLimit: *detectStrikes,
+			ReplayFrac:  *detectReplay,
+		}
+	}
+	if *ckptPath != "" {
+		cfg.Checkpoint = acme.CheckpointOptions{
+			Path:  *ckptPath,
+			Every: *ckptEvery,
+			Fsync: *ckptFsync,
 		}
 	}
 
@@ -161,7 +174,14 @@ func run() error {
 
 	fmt.Printf("acmenode: role %s listening on %s\n", *role, net.Addr())
 	var res *core.Result
-	if *rejoin {
+	if *restore {
+		// A crashed role comes back from its durable snapshot: the edge
+		// rolls the session forward from the checkpointed round and
+		// broadcasts SESSION-RESUME; a device re-enters warm.
+		if err := sys.ResumeRole(ctx, *role); err != nil {
+			return fmt.Errorf("restore %s: %w", *role, err)
+		}
+	} else if *rejoin {
 		// A churned device re-enters the loop in progress: it announces
 		// a RESYNC-REQUEST and receives a dense re-seed from its edge.
 		if err := sys.RejoinRole(ctx, *role); err != nil {

@@ -62,6 +62,10 @@ func run() error {
 	detectK := flag.Float64("detect-k", 0, "detector MAD multiplier in the outlier threshold (0 = default 3)")
 	detectMargin := flag.Float64("detect-margin", 0, "detector relative slack on the median score (0 = default 0.5)")
 	detectStrikes := flag.Int("detect-strikes", 0, "flagged rounds before eviction (0 = default 2, negative = never evict)")
+	detectReplay := flag.Float64("detect-replay", 0, "flag devices whose uploads repeat verbatim in at least this fraction of scored rounds (0 = off)")
+	ckptPath := flag.String("ckpt-path", "", "checkpoint directory: write durable session snapshots at round boundaries")
+	ckptEvery := flag.Int("ckpt-every", 0, "snapshot every Nth round (0 or 1 = every round)")
+	ckptFsync := flag.Bool("ckpt-fsync", false, "fsync snapshots to stable storage before they count")
 	flag.Parse()
 
 	cfg := acme.DefaultConfig()
@@ -127,6 +131,14 @@ func run() error {
 			K:           *detectK,
 			Margin:      *detectMargin,
 			StrikeLimit: *detectStrikes,
+			ReplayFrac:  *detectReplay,
+		}
+	}
+	if *ckptPath != "" {
+		cfg.Checkpoint = acme.CheckpointOptions{
+			Path:  *ckptPath,
+			Every: *ckptEvery,
+			Fsync: *ckptFsync,
 		}
 	}
 

@@ -13,8 +13,11 @@
 // gated metric per kind. Detection-quality metrics (BENCH_8's
 // adversarial matrix) are gated on absolute points rather than ratios:
 // a "*_tpr" metric fails when it drops by more than 0.05, a "*_fpr"
-// metric fails when it rises by more than 0.05. Metrics or configs
-// present in only one file are reported but do not fail the run.
+// metric fails when it rises by more than 0.05. A "*_overhead_frac"
+// metric (BENCH_9's durability tax) is an absolute ceiling: it fails
+// whenever the newer value exceeds 0.05, regardless of the older one.
+// Metrics or configs present in only one file are reported but do not
+// fail the run.
 //
 //	benchcmp            # compare the two newest BENCH_*.json in .
 //	benchcmp A.json B.json  # compare A (older) against B (newer)
@@ -39,6 +42,11 @@ const (
 	// points, not a ratio (a TPR of 0.02 doubling to 0.04 is noise, a
 	// TPR of 0.9 falling to 0.8 is a broken detector).
 	detectionSlack = 0.05 // fail when TPR drops / FPR rises more than this
+
+	// The durability tax is gated on an absolute ceiling, not a diff:
+	// checkpointing must stay under 5% of the plain wall no matter what
+	// the previous PR measured.
+	overheadCeiling = 0.05 // fail when an _overhead_frac metric exceeds this
 )
 
 func main() {
@@ -110,7 +118,8 @@ func wireMetrics(path string) (map[string]map[string]float64, error) {
 		metrics := make(map[string]float64)
 		for k, v := range obj {
 			if !strings.HasSuffix(k, "_bytes_total") &&
-				!strings.HasSuffix(k, "_tpr") && !strings.HasSuffix(k, "_fpr") {
+				!strings.HasSuffix(k, "_tpr") && !strings.HasSuffix(k, "_fpr") &&
+				!strings.HasSuffix(k, "_overhead_frac") {
 				continue
 			}
 			switch t := v.(type) {
@@ -197,6 +206,14 @@ func run(args []string) error {
 				continue
 			case strings.HasSuffix(k, "_fpr"):
 				if now > was+detectionSlack {
+					status = "REGRESSION"
+					regressions++
+				}
+				fmt.Printf("  %-28s %-28s %12.3f → %12.3f (%+.3f) %s\n",
+					name, k, was, now, now-was, status)
+				continue
+			case strings.HasSuffix(k, "_overhead_frac"):
+				if now > overheadCeiling {
 					status = "REGRESSION"
 					regressions++
 				}

@@ -122,7 +122,11 @@ func (l *Liar) Corrupt(round int, layers [][]float64) [][]float64 {
 		return out
 	case StrategyReplay:
 		if l.prev == nil {
-			// Nothing to replay yet: the first round's lie is a no-op.
+			// Nothing to replay yet: this upload goes out honestly but
+			// becomes the replay source, so an always-lying device (Prob
+			// 1) freezes on its first upload instead of degenerating
+			// into perfect honesty.
+			l.prev = copyLayers(layers)
 			return layers
 		}
 		return copyLayers(l.prev)

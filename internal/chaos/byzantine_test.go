@@ -98,6 +98,25 @@ func TestLiarStrategies(t *testing.T) {
 	if !replayed {
 		t.Fatal("replay liar never replayed in 40 rounds at prob 0.5")
 	}
+
+	// Replay at Prob 1: no honest rounds ever refresh prev, so the
+	// first upload primes the replay source and every later round
+	// re-sends it frozen — the free-rider never trains again.
+	frozen := &Liar{Strategy: StrategyReplay, Prob: 1, Seed: 3, Device: 2}
+	first := honestLayers()
+	first[0][0] = 42
+	out = frozen.Corrupt(0, first)
+	if out[0][0] != 42 {
+		t.Fatalf("priming round altered the upload: %v", out[0][0])
+	}
+	for round := 1; round < 5; round++ {
+		in := honestLayers()
+		in[0][0] = float64(round)
+		out = frozen.Corrupt(round, in)
+		if out[0][0] != 42 {
+			t.Fatalf("round %d: frozen replay sent %v, want the primed 42", round, out[0][0])
+		}
+	}
 }
 
 func TestDetectorFlagsAndEvicts(t *testing.T) {

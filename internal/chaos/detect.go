@@ -32,9 +32,19 @@ type Detector struct {
 	// MaxValues bounds the per-device sample the distance runs on.
 	// Zero selects the default of 512.
 	MaxValues int
+	// ReplayFrac is the replay cut on the cross-round self-distance: a
+	// device whose upload sits within ReplayFrac of the cluster's
+	// median self-drift from its own previous upload is flagged as a
+	// replay (honest training keeps drifting; a re-sent upload is *too*
+	// similar — its distance to itself is exactly zero). Zero selects
+	// the default of 0.1; negative disables the replay screen.
+	ReplayFrac float64
 
 	strikes map[int]int
 	evicted map[int]bool
+	// prev keeps each device's previous-round sample, the reference the
+	// self-distance is measured against.
+	prev map[int][]float64
 }
 
 // Verdict is one round's detection outcome.
@@ -45,8 +55,20 @@ type Verdict struct {
 	Scores map[int]float64
 	// Threshold is the robust outlier cut applied to Scores.
 	Threshold float64
-	// Suspects lists the devices flagged this round, ascending.
+	// SelfScores is each device's cross-round self-distance: the
+	// Wasserstein distance between this round's upload and the same
+	// device's previous one. Absent for devices seen for the first
+	// time.
+	SelfScores map[int]float64
+	// SelfThreshold is the replay cut applied to SelfScores: uploads at
+	// or below it are too static to be honest training.
+	SelfThreshold float64
+	// Suspects lists the devices flagged this round (distribution
+	// outliers and replay suspects merged), ascending.
 	Suspects []int
+	// ReplaySuspects lists the subset of Suspects flagged by the
+	// self-distance replay screen, ascending.
+	ReplaySuspects []int
 	// Evicted lists the devices whose strike count crossed the limit
 	// this round, ascending. Each device is reported at most once.
 	Evicted []int
@@ -127,12 +149,34 @@ func median(xs []float64) float64 {
 	return (xs[n/2-1] + xs[n/2]) / 2
 }
 
+func (d *Detector) replayFrac() float64 {
+	if d.ReplayFrac == 0 {
+		return 0.1
+	}
+	if d.ReplayFrac < 0 {
+		return 0
+	}
+	return d.ReplayFrac
+}
+
+// rememberSamples rotates this round's samples into the self-distance
+// reference book. Callers hold no lock; the detector is single-owner.
+func (d *Detector) rememberSamples(samples map[int][]float64) {
+	if d.prev == nil {
+		d.prev = make(map[int][]float64, len(samples))
+	}
+	for id, s := range samples {
+		d.prev[id] = append([]float64(nil), s...)
+	}
+}
+
 // Inspect scores one round's uploads (device ID → sampled values) and
 // updates the strike book. Rounds with fewer than three devices are
 // not scored: there is no distribution to be an outlier of.
 func (d *Detector) Inspect(samples map[int][]float64) Verdict {
 	v := Verdict{Scores: make(map[int]float64, len(samples))}
 	if len(samples) < 3 {
+		d.rememberSamples(samples)
 		return v
 	}
 	ids := make([]int, 0, len(samples))
@@ -168,12 +212,54 @@ func (d *Detector) Inspect(samples map[int][]float64) Verdict {
 	}
 	mad := median(dev)
 	v.Threshold = m*(1+d.margin()) + d.k()*mad
+	flagged := make(map[int]bool)
+	for _, id := range ids {
+		if v.Scores[id] > v.Threshold {
+			flagged[id] = true
+		}
+	}
+
+	// Replay screen: a re-sent upload has an honest *distribution* (the
+	// pooled-distance score above is blind to it) but a degenerate
+	// temporal signature — its distance to the device's own previous
+	// upload is exactly zero, while honest training keeps drifting. Cut
+	// at a small fraction of the cluster's median self-drift, so the
+	// screen self-calibrates to however fast this cluster converges and
+	// stays silent when the whole cluster has genuinely stalled
+	// (median ≈ 0).
+	if frac := d.replayFrac(); frac > 0 {
+		v.SelfScores = make(map[int]float64, len(ids))
+		selfs := make([]float64, 0, len(ids))
+		for _, id := range ids {
+			ref, ok := d.prev[id]
+			if !ok {
+				continue
+			}
+			sd := wasserstein.Distance1D(samples[id], ref, 1)
+			v.SelfScores[id] = sd
+			selfs = append(selfs, sd)
+		}
+		if len(selfs) >= 3 {
+			if sm := median(selfs); sm > 0 {
+				v.SelfThreshold = frac * sm
+				for _, id := range ids {
+					sd, ok := v.SelfScores[id]
+					if ok && sd <= v.SelfThreshold && !flagged[id] {
+						flagged[id] = true
+						v.ReplaySuspects = append(v.ReplaySuspects, id)
+					}
+				}
+			}
+		}
+	}
+	d.rememberSamples(samples)
+
 	if d.strikes == nil {
 		d.strikes = make(map[int]int)
 		d.evicted = make(map[int]bool)
 	}
 	for _, id := range ids {
-		if v.Scores[id] <= v.Threshold {
+		if !flagged[id] {
 			continue
 		}
 		v.Suspects = append(v.Suspects, id)
@@ -184,6 +270,73 @@ func (d *Detector) Inspect(samples map[int][]float64) Verdict {
 		}
 	}
 	return v
+}
+
+// State is the detector's serializable cross-round memory: the strike
+// book, the evicted set, and each device's previous-round sample —
+// everything a restored edge needs to keep judging a session where it
+// left off. Maps travel as sorted slices so the encoded form is
+// deterministic.
+type State struct {
+	Strikes []StrikeEntry
+	Evicted []int
+	Prev    []SampleEntry
+}
+
+// StrikeEntry is one device's accumulated flag count.
+type StrikeEntry struct {
+	ID int
+	N  int
+}
+
+// SampleEntry is one device's previous-round sample.
+type SampleEntry struct {
+	ID     int
+	Values []float64
+}
+
+// State exports the detector's cross-round memory.
+func (d *Detector) State() State {
+	var st State
+	ids := make([]int, 0, len(d.strikes))
+	for id := range d.strikes {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		st.Strikes = append(st.Strikes, StrikeEntry{ID: id, N: d.strikes[id]})
+	}
+	for id, ev := range d.evicted {
+		if ev {
+			st.Evicted = append(st.Evicted, id)
+		}
+	}
+	sort.Ints(st.Evicted)
+	ids = ids[:0]
+	for id := range d.prev {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		st.Prev = append(st.Prev, SampleEntry{ID: id, Values: append([]float64(nil), d.prev[id]...)})
+	}
+	return st
+}
+
+// Restore replaces the detector's cross-round memory with st.
+func (d *Detector) Restore(st State) {
+	d.strikes = make(map[int]int, len(st.Strikes))
+	for _, e := range st.Strikes {
+		d.strikes[e.ID] = e.N
+	}
+	d.evicted = make(map[int]bool, len(st.Evicted))
+	for _, id := range st.Evicted {
+		d.evicted[id] = true
+	}
+	d.prev = make(map[int][]float64, len(st.Prev))
+	for _, e := range st.Prev {
+		d.prev[e.ID] = append([]float64(nil), e.Values...)
+	}
 }
 
 // Strikes returns a device's accumulated flag count.

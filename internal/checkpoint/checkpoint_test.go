@@ -1,0 +1,154 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+type snapshot struct {
+	Round   int
+	Node    string
+	Layers  [][]float64
+	Packed  []byte
+	Departs []bool
+}
+
+func sample() snapshot {
+	return snapshot{
+		Round:   7,
+		Node:    "edge-0",
+		Layers:  [][]float64{{1.5, -2.25, 0}, {3e-9}},
+		Packed:  []byte{0, 1, 2, 255},
+		Departs: []bool{false, true, false},
+	}
+}
+
+func TestRoundTripBothCodecs(t *testing.T) {
+	for _, codec := range []Codec{CodecWire, CodecGob} {
+		raw, err := Encode(codec, sample())
+		if err != nil {
+			t.Fatalf("codec %d: %v", codec, err)
+		}
+		if !IsEnvelope(raw) {
+			t.Fatalf("codec %d: envelope does not start with magic", codec)
+		}
+		var got snapshot
+		back, err := Decode(raw, &got)
+		if err != nil {
+			t.Fatalf("codec %d decode: %v", codec, err)
+		}
+		if back != codec {
+			t.Fatalf("decoded codec %d, wrote %d", back, codec)
+		}
+		if !reflect.DeepEqual(got, sample()) {
+			t.Fatalf("codec %d round trip: got %+v", codec, got)
+		}
+	}
+}
+
+// The two codecs are each other's oracle: whatever wire persists, gob
+// must reproduce identically (and vice versa) for the same value.
+func TestCodecOracle(t *testing.T) {
+	w, err := Encode(CodecWire, sample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Encode(CodecGob, sample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fromWire, fromGob snapshot
+	if _, err := Decode(w, &fromWire); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(g, &fromGob); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromWire, fromGob) {
+		t.Fatalf("wire %+v vs gob %+v", fromWire, fromGob)
+	}
+}
+
+func TestDecodeRejectsDamage(t *testing.T) {
+	raw, err := Encode(CodecWire, sample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := func(f func(b []byte)) []byte {
+		b := append([]byte(nil), raw...)
+		f(b)
+		return b
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"short header", raw[:10], ErrTruncated},
+		{"bad magic", mut(func(b []byte) { b[0] = 'X' }), ErrMagic},
+		{"future version", mut(func(b []byte) { b[4] = Version + 1 }), ErrVersion},
+		{"unknown codec", mut(func(b []byte) { b[5] = 99 }), ErrCodec},
+		{"truncated payload", raw[:len(raw)-3], ErrTruncated},
+		{"oversized length", mut(func(b []byte) { binary.LittleEndian.PutUint64(b[6:], 1<<40) }), ErrTruncated},
+		{"flipped payload bit", mut(func(b []byte) { b[len(b)-1] ^= 0x01 }), ErrChecksum},
+		{"flipped crc", mut(func(b []byte) { b[14] ^= 0xff }), ErrChecksum},
+	}
+	for _, tc := range cases {
+		var got snapshot
+		_, err := Decode(tc.data, &got)
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: err %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestWriteFileAtomicAndFsync(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "edge-0.ackp")
+	for _, fsync := range []bool{false, true} {
+		if err := WriteFile(path, CodecWire, sample(), fsync); err != nil {
+			t.Fatalf("fsync=%v: %v", fsync, err)
+		}
+		var got snapshot
+		if _, err := ReadFile(path, &got); err != nil {
+			t.Fatalf("fsync=%v read: %v", fsync, err)
+		}
+		if !reflect.DeepEqual(got, sample()) {
+			t.Fatalf("fsync=%v: got %+v", fsync, got)
+		}
+	}
+	// No temp files may survive a successful write.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "edge-0.ackp" {
+		t.Fatalf("leftover files in checkpoint dir: %v", entries)
+	}
+}
+
+func TestWriteFileOverwritesCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.ackp")
+	if err := os.WriteFile(path, []byte("ACKPgarbage-not-a-checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got snapshot
+	if _, err := ReadFile(path, &got); err == nil {
+		t.Fatal("corrupt file decoded cleanly")
+	}
+	if err := WriteFile(path, CodecGob, sample(), false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Round != sample().Round {
+		t.Fatalf("got round %d", got.Round)
+	}
+}

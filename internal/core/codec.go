@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"sort"
 
+	"acme/internal/checkpoint"
 	"acme/internal/energy"
 	"acme/internal/nas"
 	"acme/internal/nn"
@@ -366,12 +367,8 @@ func SaveDeviceCheckpoint(dir string, id int, backbone *nn.Backbone, header *nas
 	pkg := EncodeHeader(header, QuantLossless)
 	pkg.Backbone = EncodeBackbone(backbone, cand.W, cand.D, cand, QuantLossless)
 	cp := DeviceCheckpoint{DeviceID: id, Package: pkg}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(cp); err != nil {
-		return fmt.Errorf("core: encode checkpoint: %w", err)
-	}
 	path := filepath.Join(dir, fmt.Sprintf("device-%d.ckpt", id))
-	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+	if err := checkpoint.WriteFile(path, checkpoint.CodecGob, cp, false); err != nil {
 		return fmt.Errorf("core: write checkpoint: %w", err)
 	}
 	return nil
@@ -385,7 +382,12 @@ func LoadDeviceCheckpoint(dir string, id int) (*nn.Backbone, *nas.HeaderModel, e
 		return nil, nil, fmt.Errorf("core: read checkpoint: %w", err)
 	}
 	var cp DeviceCheckpoint
-	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&cp); err != nil {
+	if checkpoint.IsEnvelope(raw) {
+		if _, err := checkpoint.Decode(raw, &cp); err != nil {
+			return nil, nil, fmt.Errorf("core: decode checkpoint: %w", err)
+		}
+	} else if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&cp); err != nil {
+		// Legacy bare-gob checkpoint, written before the envelope.
 		return nil, nil, fmt.Errorf("core: decode checkpoint: %w", err)
 	}
 	backbone, err := DecodeBackbone(cp.Package.Backbone)

@@ -98,6 +98,21 @@ type StragglerPolicy struct {
 	// fraction in (0,1); the two must be set together.
 	Quorum   float64
 	Deadline time.Duration
+	// AdaptiveCutoff replaces the fixed Deadline with an EWMA of the
+	// edge's past gather walls: each round's effective deadline is
+	// AdaptiveFactor × the smoothed wall, seeded by the configured
+	// Deadline before the first observation. Slow rounds stretch the
+	// budget, fast rounds tighten it — the cutoff tracks the cluster's
+	// real pace instead of a hand-tuned constant. Requires the
+	// Quorum/Deadline pair; off (default) keeps the fixed deadline,
+	// bitwise identical to the pre-adaptive policy.
+	AdaptiveCutoff bool
+	// AdaptiveAlpha is the EWMA smoothing weight of the newest gather
+	// wall in (0,1] (0 = default 0.3).
+	AdaptiveAlpha float64
+	// AdaptiveFactor is the slack multiplier applied to the smoothed
+	// wall to form the round deadline (0 = default 2).
+	AdaptiveFactor float64
 	// SlowDeviceDelay artificially delays one device's importance
 	// upload by this much every round (the device whose ID is
 	// SlowDeviceID) — a deterministic straggler for benchmarks and
@@ -124,8 +139,31 @@ func (p StragglerPolicy) Validate() error {
 			p.Quorum, p.Deadline)
 	case p.SlowDeviceDelay < 0:
 		return fmt.Errorf("core: negative slow-device delay %v", p.SlowDeviceDelay)
+	case p.AdaptiveCutoff && !(p.Quorum > 0 && p.Deadline > 0):
+		return fmt.Errorf("core: adaptive cutoff requires the straggler quorum and deadline (-quorum %v, -cutoff %v)",
+			p.Quorum, p.Deadline)
+	case p.AdaptiveAlpha < 0 || p.AdaptiveAlpha > 1:
+		return fmt.Errorf("core: adaptive cutoff alpha %v outside (0,1]", p.AdaptiveAlpha)
+	case p.AdaptiveFactor < 0:
+		return fmt.Errorf("core: negative adaptive cutoff factor %v", p.AdaptiveFactor)
 	}
 	return nil
+}
+
+// adaptiveAlpha returns the EWMA weight, defaulted.
+func (p StragglerPolicy) adaptiveAlpha() float64 {
+	if p.AdaptiveAlpha == 0 {
+		return 0.3
+	}
+	return p.AdaptiveAlpha
+}
+
+// adaptiveFactor returns the deadline slack multiplier, defaulted.
+func (p StragglerPolicy) adaptiveFactor() float64 {
+	if p.AdaptiveFactor == 0 {
+		return 2
+	}
+	return p.AdaptiveFactor
 }
 
 // ByzantineOptions injects adversarial devices into the fleet: the
@@ -187,6 +225,10 @@ type DetectOptions struct {
 	// MaxValues bounds the per-upload sample the score runs on (0 =
 	// default 512).
 	MaxValues int
+	// ReplayFrac is the replay screen's cut on the cross-round
+	// self-distance as a fraction of the cluster's median self-drift
+	// (0 = chaos default of 0.1; negative disables the screen).
+	ReplayFrac float64
 }
 
 // FleetOptions groups the fleet topology and the per-round
@@ -280,6 +322,55 @@ func (c ChaosOptions) Validate() error {
 	return nil
 }
 
+// CheckpointOptions arms durable checkpoint/restore of the Phase 2-2
+// session: each edge writes a versioned, CRC-guarded snapshot of its
+// in-flight loop state (round counter, delta shadows both directions,
+// importance accumulator, fleet membership + epoch, detector strikes)
+// to Path at round boundaries, atomically and off the critical path,
+// and each device snapshots its refined header after every applied
+// downlink. A killed process restarts with System.ResumeRole: the edge
+// reloads the latest snapshot and broadcasts SESSION-RESUME so devices
+// retransmit the rounds the crash may have swallowed; a device warm-
+// starts from its own snapshot through the RESYNC path, falling back
+// to a dense resync when the snapshot is missing or stale. Snapshots
+// never change what a run computes — a checkpointed seeded run is
+// bitwise identical to an unchekpointed one; only durability and a
+// little write bandwidth are added.
+type CheckpointOptions struct {
+	// Path is the snapshot directory (created if missing). Empty
+	// disables checkpointing.
+	Path string
+	// Every writes a snapshot at the start of every Nth round (0 or 1 =
+	// every round).
+	Every int
+	// Fsync forces snapshot bytes (and the directory rename) to stable
+	// storage before a write counts — crash-proof against power loss,
+	// not just process death, at the cost of write latency.
+	Fsync bool
+}
+
+// Enabled reports whether checkpointing is armed.
+func (o CheckpointOptions) Enabled() bool { return o.Path != "" }
+
+// EveryN returns the snapshot period in rounds, defaulted.
+func (o CheckpointOptions) EveryN() int {
+	if o.Every <= 1 {
+		return 1
+	}
+	return o.Every
+}
+
+// Validate reports checkpoint-option errors.
+func (o CheckpointOptions) Validate() error {
+	if o.Every < 0 {
+		return fmt.Errorf("core: negative checkpoint period %d", o.Every)
+	}
+	if !o.Enabled() && (o.Every > 0 || o.Fsync) {
+		return fmt.Errorf("core: checkpoint options set without a checkpoint path")
+	}
+	return nil
+}
+
 // Config assembles every knob of a full ACME run.
 type Config struct {
 	// Model and data.
@@ -360,6 +451,12 @@ type Config struct {
 	// customized model (backbone + header) as device-N.ckpt in that
 	// directory, loadable with LoadDeviceCheckpoint.
 	CheckpointDir string
+
+	// Checkpoint is the mid-flight durability policy: when armed, every
+	// edge (and device) persists a restartable session snapshot at
+	// round boundaries, and System.ResumeRole can rehydrate a crashed
+	// role from the latest snapshot.
+	Checkpoint CheckpointOptions
 
 	// Parallelism caps the goroutines the tensor kernels may use for
 	// large matrix multiplies. 0 leaves the process-wide setting
@@ -499,6 +596,15 @@ func (c Config) Validate() error {
 	}
 	if err := c.Chaos.Validate(); err != nil {
 		return err
+	}
+	if err := c.Checkpoint.Validate(); err != nil {
+		return err
+	}
+	if c.Checkpoint.Enabled() && c.Fleet.Sampling() {
+		// The resume protocol replays position-keyed per-round exchanges;
+		// the invite-driven sampled loop has no per-device round buffer
+		// to replay yet.
+		return fmt.Errorf("core: checkpoint restore does not yet compose with participation sampling")
 	}
 	switch {
 	case c.NumClasses <= 0:

@@ -363,23 +363,193 @@ func (s *System) runEdge(ctx context.Context, edgeID int) error {
 	if err != nil {
 		return err
 	}
+	st := s.newEdgeState(edgeID, ses, pkg, sim)
+	return s.edgeLoop(ctx, st)
+}
+
+// edgeState is the Phase 2-2 loop state of one edge server, factored
+// out of runEdge so a checkpoint can capture it at a round boundary
+// and a restarted edge can rebuild it from the snapshot (ResumeRole)
+// instead of redoing the unrepeatable setup phases.
+type edgeState struct {
+	edgeID int
+	name   string
+	ses    *transport.Session
+	reg    *fleet.Registry
+
+	// Positional geometry, derived deterministically from the Config.
+	order     []int
+	pos       map[int]int
+	posByName map[string]int
+	nameByPos []string
+	idByPos   []int
+
+	pkg HeaderPackage
+	sim [][]float64
+
+	shadows  []deltaDecoder
+	downEncs []*deltaEncoder
+
+	// departed marks devices that announced a LEAVE: they are dropped
+	// from the remaining rounds. rejoinRound marks a resynced device's
+	// re-entry round (-1 when not resyncing); until then it receives
+	// neither a downlink nor a cutoff. lastSampled tracks each device's
+	// most recent invited round under participation sampling; doneTold
+	// tracks who already heard the run is over.
+	departed    []bool
+	rejoinRound []int
+	lastSampled []int
+	doneTold    []bool
+	invited     []bool
+
+	prev      []*importance.Set
+	lastRound int
+
+	sampling bool
+	sampler  fleet.Sampler
+	cutoff   bool
+	// gatherEWMA is the adaptive straggler cutoff's smoothed gather
+	// wall in seconds (Config.Straggler.AdaptiveCutoff); 0 until the
+	// first gather completes.
+	gatherEWMA float64
+
+	// Byzantine screening (Config.Fleet.Detect): one detector per edge,
+	// strikes accumulated across rounds. In detection mode uploads are
+	// buffered per round instead of folded on arrival, scored after the
+	// gather, and only the unflagged ones enter the combine.
+	detect        *chaos.Detector
+	detectPending []*importance.Set
+	detectSamples map[int][]float64
+
+	// startRound is where the loop enters: 0 for a fresh run, the
+	// snapshot round on restore. resumedRound is -1 in a normal run; on
+	// restore it anchors the duplicate-tolerance window in which
+	// retransmitted uploads may cross originals that survived in
+	// transit.
+	startRound   int
+	resumedRound int
+}
+
+// inResumeWindow reports whether round t is close enough to a restore
+// point that a duplicate upload (a SESSION-RESUME retransmission
+// crossing an original that outlived the crash in an inbox) is
+// expected and must be dropped instead of failing the round.
+func (st *edgeState) inResumeWindow(s *System, t int) bool {
+	return st.resumedRound >= 0 && t <= st.resumedRound+s.retainRounds()
+}
+
+// newEdgeState builds the loop state fresh from the Config and the
+// setup outputs (the distributed model package and similarity matrix).
+func (s *System) newEdgeState(edgeID int, ses *transport.Session, pkg HeaderPackage, sim [][]float64) *edgeState {
+	members := s.clusters[edgeID]
 	order := append([]int(nil), members...)
 	sort.Ints(order)
-	pos := make(map[int]int, len(order))
-	posByName := make(map[string]int, len(order))
-	nameByPos := make([]string, len(order))
-	idByPos := make([]int, len(order))
-	for i, di := range order {
-		pos[s.devices[di].ID] = i
-		posByName[s.devices[di].Name()] = i
-		nameByPos[i] = s.devices[di].Name()
-		idByPos[i] = s.devices[di].ID
+	st := &edgeState{
+		edgeID:       edgeID,
+		name:         edgeName(edgeID),
+		ses:          ses,
+		reg:          ses.Membership(),
+		order:        order,
+		pos:          make(map[int]int, len(order)),
+		posByName:    make(map[string]int, len(order)),
+		nameByPos:    make([]string, len(order)),
+		idByPos:      make([]int, len(order)),
+		pkg:          pkg,
+		sim:          sim,
+		shadows:      make([]deltaDecoder, len(order)),
+		departed:     make([]bool, len(order)),
+		rejoinRound:  make([]int, len(order)),
+		lastSampled:  make([]int, len(order)),
+		doneTold:     make([]bool, len(order)),
+		invited:      make([]bool, len(order)),
+		lastRound:    -1,
+		sampling:     s.Cfg.Fleet.Sampling(),
+		sampler:      fleet.Sampler{Frac: s.Cfg.Fleet.SampleFrac, Seed: s.Cfg.SampleSeed()},
+		cutoff:       s.cutoffEnabled(),
+		resumedRound: -1,
 	}
+	for i, di := range order {
+		st.pos[s.devices[di].ID] = i
+		st.posByName[s.devices[di].Name()] = i
+		st.nameByPos[i] = s.devices[di].Name()
+		st.idByPos[i] = s.devices[di].ID
+	}
+	for i := range order {
+		st.rejoinRound[i] = -1
+		st.lastSampled[i] = -1
+	}
+	// Downlink delta encoders: one per device, persisted across rounds
+	// so each round's personalized set is encoded against the previous
+	// round's downlink (the shadow the device holds).
+	if s.Cfg.Wire.DeltaImportance {
+		st.downEncs = make([]*deltaEncoder, len(order))
+		for i := range st.downEncs {
+			st.downEncs[i] = &deltaEncoder{mode: s.Cfg.Wire.Quantization}
+		}
+	}
+	if s.Cfg.Fleet.Detect.Enabled {
+		d := s.Cfg.Fleet.Detect
+		st.detect = &chaos.Detector{K: d.K, Margin: d.Margin, StrikeLimit: d.StrikeLimit,
+			MaxValues: d.MaxValues, ReplayFrac: d.ReplayFrac}
+		st.detectPending = make([]*importance.Set, len(order))
+		st.detectSamples = make(map[int][]float64, len(order))
+	}
+	return st
+}
+
+// edgeLoop runs the Phase 2-2 rounds over st, managing the background
+// snapshot writer when checkpointing is configured: the loop hands the
+// writer a marshalled snapshot at boundary rounds and keeps going; the
+// write (and its fsync, if configured) happens off the critical path.
+func (s *System) edgeLoop(ctx context.Context, st *edgeState) error {
+	var writer *snapshotWriter
+	if s.Cfg.Checkpoint.Enabled() {
+		var err error
+		if writer, err = newSnapshotWriter(s.checkpointFile(st.name), s.Cfg.Checkpoint.Fsync); err != nil {
+			return err
+		}
+	}
+	err := s.edgeRounds(ctx, st, writer)
+	if writer != nil {
+		if werr := writer.Close(); werr != nil && err == nil {
+			err = werr
+		}
+	}
+	return err
+}
+
+// edgeRounds is the round loop itself: a round-scoped gather per round
+// with optional (adaptive) straggler cutoff, the control plane that
+// lets churned devices resync mid-loop, and the streamed downlinks.
+func (s *System) edgeRounds(ctx context.Context, st *edgeState, writer *snapshotWriter) error {
+	edgeID := st.edgeID
+	name := st.name
+	ses := st.ses
+	reg := st.reg
+	order := st.order
+	pos := st.pos
+	posByName := st.posByName
+	nameByPos := st.nameByPos
+	idByPos := st.idByPos
+	pkg := st.pkg
+	sim := st.sim
+	shadows := st.shadows
+	downEncs := st.downEncs
+	departed := st.departed
+	rejoinRound := st.rejoinRound
+	lastSampled := st.lastSampled
+	doneTold := st.doneTold
+	invited := st.invited
+	sampling := st.sampling
+	sampler := st.sampler
+	cutoff := st.cutoff
+	detect := st.detect
+	detectPending := st.detectPending
+	detectSamples := st.detectSamples
 	// sendCutoff tells one device its round was combined without it (or,
 	// with done set, that the run is over) — best-effort in every
 	// caller: a slow device reads it and moves on, a dead one's
 	// supervised link gives up on its own.
-	var doneTold []bool
 	sendCutoff := func(p, round int, done bool) {
 		if done {
 			doneTold[p] = true
@@ -388,44 +558,6 @@ func (s *System) runEdge(ctx context.Context, edgeID int) error {
 			Type: wire.ControlRoundCutoff, Device: idByPos[p], Round: round, Done: done,
 		})
 	}
-	shadows := make([]deltaDecoder, len(order))
-	// Downlink delta encoders: one per device, persisted across rounds
-	// so each round's personalized set is encoded against the previous
-	// round's downlink (the shadow the device holds).
-	var downEncs []*deltaEncoder
-	if s.Cfg.Wire.DeltaImportance {
-		downEncs = make([]*deltaEncoder, len(order))
-		for i := range downEncs {
-			downEncs[i] = &deltaEncoder{mode: s.Cfg.Wire.Quantization}
-		}
-	}
-	cutoff := s.cutoffEnabled()
-	// departed marks devices that announced a LEAVE: they are dropped
-	// from the remaining rounds. rejoinRound marks a resynced device's
-	// re-entry round (-1 when not resyncing); until then it receives
-	// neither a downlink nor a cutoff.
-	departed := make([]bool, len(order))
-	rejoinRound := make([]int, len(order))
-	for i := range rejoinRound {
-		rejoinRound[i] = -1
-	}
-	// Participation sampling: each round invites only a seeded sample of
-	// the live membership, so per-round traffic and gather wall scale
-	// with the sampled count instead of the cluster size. lastSampled
-	// tracks each device's most recent invited round: a gap breaks both
-	// delta-shadow chains, so a resampled device re-seeds dense (the
-	// device derives the same reset from its own round gap — no extra
-	// signaling). doneTold tracks who already heard the run is over.
-	sampling := s.Cfg.Fleet.Sampling()
-	sampler := fleet.Sampler{Frac: s.Cfg.Fleet.SampleFrac, Seed: s.Cfg.SampleSeed()}
-	lastSampled := make([]int, len(order))
-	for i := range lastSampled {
-		lastSampled[i] = -1
-	}
-	doneTold = make([]bool, len(order))
-	invited := make([]bool, len(order))
-	var prev []*importance.Set
-	lastRound := -1
 	// foldArena backs the zero-copy decode of every gathered upload:
 	// reset per message, float payloads aliased straight into the frame
 	// buffer instead of allocated. Safe because everything the fold
@@ -434,23 +566,16 @@ func (s *System) runEdge(ctx context.Context, edgeID int) error {
 	// delta application copies into the shadow), inside the buffer
 	// lifetime the gather guarantees OnMessage.
 	foldArena := &wire.Arena{AliasInput: true}
-	// Byzantine screening (Config.Fleet.Detect): one detector per edge,
-	// strikes accumulated across rounds. In detection mode uploads are
-	// buffered per round instead of folded on arrival, scored after the
-	// gather by their Wasserstein distance to the pooled cluster, and
-	// only the unflagged ones enter the combine — the suspects' weight
-	// is renormalized away by ResultPartial.
-	var detect *chaos.Detector
-	var detectPending []*importance.Set
-	var detectSamples map[int][]float64
-	if s.Cfg.Fleet.Detect.Enabled {
-		d := s.Cfg.Fleet.Detect
-		detect = &chaos.Detector{K: d.K, Margin: d.Margin, StrikeLimit: d.StrikeLimit, MaxValues: d.MaxValues}
-		detectPending = make([]*importance.Set, len(order))
-		detectSamples = make(map[int][]float64, len(order))
-	}
-	for t := 0; t < s.Cfg.Phase2Rounds; t++ {
-		lastRound = t
+	for t := st.startRound; t < s.Cfg.Phase2Rounds; t++ {
+		if writer != nil && (t == st.startRound || t%s.Cfg.Checkpoint.EveryN() == 0) {
+			// Marshal synchronously (deep copies of everything the round
+			// will mutate), persist in the background.
+			writer.write(st.snapshot(s, t))
+		}
+		st.lastRound = t
+		// folded tracks which positions already contributed this round,
+		// for the post-restore duplicate-tolerance window.
+		folded := make([]bool, len(order))
 		comb, err := aggregate.NewCombiner(sim)
 		if err != nil {
 			return err
@@ -471,6 +596,11 @@ func (s *System) runEdge(ctx context.Context, edgeID int) error {
 				devID = up.DeviceID
 				if p, err = posOf(pos, msg, devID); err != nil {
 					return err
+				}
+				if folded[p] && st.inResumeWindow(s, t) {
+					// Post-restore retransmission crossing an original that
+					// outlived the crash in an inbox: drop the second copy.
+					return nil
 				}
 				if layers, err = up.layers(); err != nil {
 					return fmt.Errorf("%v from %s (device %d): %w", msg.Kind, msg.From, devID, err)
@@ -495,6 +625,11 @@ func (s *System) runEdge(ctx context.Context, edgeID int) error {
 					return fmt.Errorf("%v from %s (device %d) carries round %d during round %d",
 						msg.Kind, msg.From, devID, up.Round, t)
 				}
+				if folded[p] && st.inResumeWindow(s, t) {
+					// Duplicate delta in the resume window: applying it twice
+					// would corrupt the shadow chain, so drop it before apply.
+					return nil
+				}
 				if layers, err = shadows[p].apply(up); err != nil {
 					return fmt.Errorf("%v from %s (device %d): %w", msg.Kind, msg.From, devID, err)
 				}
@@ -516,6 +651,7 @@ func (s *System) runEdge(ctx context.Context, edgeID int) error {
 				// than silently replacing the first copy.
 				return fmt.Errorf("%v from %s (device %d): %w", msg.Kind, msg.From, devID, err)
 			}
+			folded[p] = true
 			rs.UploadBytes += int64(len(msg.Payload)) + transport.HeaderEstimate
 			rs.AggregateNS += time.Since(busy).Nanoseconds()
 			return nil
@@ -682,10 +818,25 @@ func (s *System) runEdge(ctx context.Context, edgeID int) error {
 		if cutoff {
 			spec.Quorum = s.Cfg.Straggler.Quorum
 			spec.Deadline = s.Cfg.Straggler.Deadline
+			if s.Cfg.Straggler.AdaptiveCutoff && st.gatherEWMA > 0 {
+				// Adaptive deadline: a multiple of the smoothed gather
+				// wall, so the cutoff tracks the cluster's observed pace
+				// instead of a hand-tuned constant. The first round (no
+				// observation yet) uses the configured deadline.
+				spec.Deadline = time.Duration(s.Cfg.Straggler.adaptiveFactor() * st.gatherEWMA * float64(time.Second))
+			}
 		}
 		gres, err := ses.Gather(ctx, spec)
 		if err != nil {
 			return err
+		}
+		if cutoff && s.Cfg.Straggler.AdaptiveCutoff {
+			a := s.Cfg.Straggler.adaptiveAlpha()
+			if wall := gres.Wall.Seconds(); st.gatherEWMA <= 0 {
+				st.gatherEWMA = wall
+			} else {
+				st.gatherEWMA = a*wall + (1-a)*st.gatherEWMA
+			}
 		}
 		rs.GatherWallNS = gres.Wall.Nanoseconds()
 		rs.StaleMessages = gres.Stale
@@ -766,7 +917,7 @@ func (s *System) runEdge(ctx context.Context, edgeID int) error {
 		}
 		// The fused convergence pass only runs when convergence checking
 		// is on: a nil prev short-circuits SetsDelta to +Inf.
-		prevForDelta := prev
+		prevForDelta := st.prev
 		if s.Cfg.ConvergenceEpsilon <= 0 {
 			prevForDelta = nil
 		}
@@ -793,7 +944,7 @@ func (s *System) runEdge(ctx context.Context, edgeID int) error {
 		if !done && s.Cfg.ConvergenceEpsilon > 0 && delta < s.Cfg.ConvergenceEpsilon {
 			done = true
 		}
-		prev = combined
+		st.prev = combined
 		discard := s.Cfg.DiscardPerRound * (t + 1)
 		// Stream the downlinks: every accumulator is final once the last
 		// upload folds, so each device's personalized set is encoded
@@ -890,8 +1041,8 @@ func (s *System) runEdge(ctx context.Context, edgeID int) error {
 		if departed[i] || doneTold[i] {
 			continue
 		}
-		round := lastRound
-		if rejoinRound[i] > lastRound {
+		round := st.lastRound
+		if rejoinRound[i] > st.lastRound {
 			round = rejoinRound[i]
 		}
 		sendCutoff(i, round, true)
@@ -977,14 +1128,25 @@ func (s *System) decodePersonalized(downDec *deltaDecoder, msg transport.Message
 // edge already cut this device's round — its ROUND-CUTOFF, delivered
 // before any LEAVE on the same link, is sitting in the inbox — the
 // device can finalize (Done) or move to the next round instead of
-// failing unreported. Anything else surfaces the original send error.
-func (s *System) recoverFromLostUplink(ctx context.Context, ses *transport.Session, edge string, round int, enc *deltaEncoder, sendErr error) (done bool, err error) {
-	grace, cancel := context.WithTimeout(ctx, 250*time.Millisecond)
+// failing unreported. With checkpointing on, the dead uplink can
+// instead mean the edge is mid-restart: its SESSION-RESUME triggers a
+// retransmission of the buffered uploads (this round's included) and
+// hands the device back to the normal downlink wait (resumed true).
+// Anything else surfaces the original send error.
+func (s *System) recoverFromLostUplink(ctx context.Context, ses *transport.Session, edge string, round int, enc *deltaEncoder, buf *uplinkBuffer, sendErr error) (done, resumed bool, err error) {
+	wait := 250 * time.Millisecond
+	if s.Cfg.Checkpoint.Enabled() {
+		// A kill-and-restore cycle (process restart, snapshot read,
+		// redial backoff) takes far longer than a cutoff notice: give the
+		// restarted edge's SESSION-RESUME time to arrive.
+		wait = 15 * time.Second
+	}
+	grace, cancel := context.WithTimeout(ctx, wait)
 	defer cancel()
 	for {
 		msg, rerr := ses.Recv(grace)
 		if rerr != nil {
-			return false, fmt.Errorf("upload for round %d undeliverable: %w", round, sendErr)
+			return false, false, fmt.Errorf("upload for round %d undeliverable: %w", round, sendErr)
 		}
 		if msg.Kind != transport.KindControl || msg.From != edge {
 			continue // already in a failure path: drop stray traffic
@@ -996,7 +1158,15 @@ func (s *System) recoverFromLostUplink(ctx context.Context, ses *transport.Sessi
 		if rec.Type == wire.ControlMemberGone {
 			// Evicted by the edge's Byzantine detector mid-failure: the
 			// eviction notice explains the dead uplink.
-			return false, errEvicted
+			return false, false, errEvicted
+		}
+		if rec.Type == wire.ControlSessionResume {
+			// The edge restarted from its checkpoint — that is what
+			// killed the send. Retransmit everything it may have lost.
+			if rerr := buf.resend(s, ses.Node(), edge, rec.Round); rerr != nil {
+				return false, false, rerr
+			}
+			return false, true, nil
 		}
 		if rec.Type == wire.ControlRoundCutoff && (rec.Round == round || rec.Done) {
 			// The edge combined without us and dropped our uplink
@@ -1006,7 +1176,7 @@ func (s *System) recoverFromLostUplink(ctx context.Context, ses *transport.Sessi
 			if enc != nil {
 				*enc = deltaEncoder{mode: s.Cfg.Wire.Quantization}
 			}
-			return rec.Done, nil
+			return rec.Done, false, nil
 		}
 	}
 }
@@ -1209,7 +1379,7 @@ func (s *System) deviceRefineAndReport(ctx context.Context, ses *transport.Sessi
 	}
 
 	// 4. Single-loop refinement (Algorithm 2, device side).
-	if err := s.deviceLoop(ctx, ses, dev, edgeID, rng, local, header, startRound); err != nil {
+	if err := s.deviceLoop(ctx, ses, dev, edgeID, rng, local, header, pkg, startRound); err != nil {
 		if errors.Is(err, errEvicted) {
 			// Evicted by the edge's Byzantine detector: exit silently —
 			// the collector already heard MEMBER-GONE and a report now
@@ -1258,7 +1428,7 @@ func (s *System) deviceRefineAndReport(ctx context.Context, ses *transport.Sessi
 // against slightly stale parameters. A ROUND-CUTOFF from the edge
 // means this round combined without us: the uplink delta state
 // restarts cold (the edge dropped our upload) and the loop moves on.
-func (s *System) deviceLoop(ctx context.Context, ses *transport.Session, dev cluster.Device, edgeID int, rng *rand.Rand, local *data.Dataset, header *nas.HeaderModel, startRound int) error {
+func (s *System) deviceLoop(ctx context.Context, ses *transport.Session, dev cluster.Device, edgeID int, rng *rand.Rand, local *data.Dataset, header *nas.HeaderModel, pkg HeaderPackage, startRound int) error {
 	if s.Cfg.Fleet.Sampling() {
 		return s.deviceSampledLoop(ctx, ses, dev, edgeID, rng, local, header, startRound)
 	}
@@ -1270,6 +1440,12 @@ func (s *System) deviceLoop(ctx context.Context, ses *transport.Session, dev clu
 		enc = &deltaEncoder{mode: s.Cfg.Wire.Quantization}
 	}
 	var downDec deltaDecoder
+	// buf retains recent encoded uploads for SESSION-RESUME
+	// retransmission; inert (zero retain) unless checkpointing is on.
+	// resumed flips once a restarted edge announced itself, widening
+	// what the downlink wait tolerates.
+	buf := &uplinkBuffer{retain: s.retainRounds()}
+	resumed := false
 	liar := s.liarFor(dev.ID)
 	refresh := s.Cfg.ImportanceRefreshPeriod
 	incremental := refresh > 1
@@ -1320,13 +1496,15 @@ func (s *System) deviceLoop(ctx context.Context, ses *transport.Session, dev clu
 		if liar != nil {
 			upLayers = liar.Corrupt(t, upLayers)
 		}
-		var sendErr error
+		upKind := transport.KindImportanceSet
+		var upVal any
 		if enc != nil {
 			up, err := enc.encode(dev.ID, t, upLayers)
 			if err != nil {
 				return err
 			}
-			sendErr = s.sendRound(transport.KindImportanceDelta, name, edge, t, up)
+			upKind = transport.KindImportanceDelta
+			upVal = up
 		} else {
 			up := ImportanceUpload{DeviceID: dev.ID}
 			if topK {
@@ -1339,8 +1517,17 @@ func (s *System) deviceLoop(ctx context.Context, ses *transport.Session, dev clu
 			} else {
 				up.Layers = quantizeSet(upLayers)
 			}
-			sendErr = s.sendRound(transport.KindImportanceSet, name, edge, t, up)
+			upVal = up
 		}
+		// Encode once: the same bytes go on the wire and (when
+		// checkpointing is on) into the replay buffer, so a
+		// SESSION-RESUME retransmission is bitwise identical.
+		payload, raw, err := s.encodePayload(upKind, upVal)
+		if err != nil {
+			return err
+		}
+		buf.add(t, upKind, payload, raw)
+		sendErr := s.sendRaw(upKind, name, edge, t, payload, raw)
 		if sendErr != nil {
 			// An undeliverable upload on a straggling round usually
 			// means the edge already cut us — possibly on its final
@@ -1348,15 +1535,21 @@ func (s *System) deviceLoop(ctx context.Context, ses *transport.Session, dev clu
 			// shutting down (a departed edge fails sends fast). Read
 			// that explanation out of the inbox instead of dying with
 			// an unreported device.
-			done, rerr := s.recoverFromLostUplink(ctx, ses, edge, t, enc, sendErr)
+			done, res, rerr := s.recoverFromLostUplink(ctx, ses, edge, t, enc, buf, sendErr)
 			if rerr != nil {
 				return rerr
 			}
-			s.recordDeviceRound(drs)
-			if done {
-				break
+			if !res {
+				s.recordDeviceRound(drs)
+				if done {
+					break
+				}
+				continue
 			}
-			continue
+			// The send died against a restarting edge and the buffered
+			// uploads (this round's included) were retransmitted: rejoin
+			// the normal path and wait for the re-run round's downlink.
+			resumed = true
 		}
 		// Compute/communication overlap: while the upload is in flight
 		// and the edge waits for the rest of the cluster, fold the next
@@ -1376,29 +1569,99 @@ func (s *System) deviceLoop(ctx context.Context, ses *transport.Session, dev clu
 		// Receive the personalized set: dense, delta-encoded against
 		// the previous round's downlink, or a ROUND-CUTOFF control
 		// record when this device straggled past the quorum deadline.
-		// Anything from the wrong sender, a duplicate, or an
-		// out-of-order round is a protocol violation named after the
-		// sender and kind — mirroring the edge's upload hardening.
-		msg, err := ses.Recv(ctx)
+		out, err := s.awaitDownlink(ctx, ses, edge, t, enc, &downDec, buf, &resumed)
 		if err != nil {
 			return err
+		}
+		if out.cut {
+			if out.done {
+				break
+			}
+			continue
+		}
+		if err := header.ApplyImportance(&importance.Set{Layers: out.layers}, out.discard); err != nil {
+			return err
+		}
+		if err := header.TrainLocal(local, 1, s.Cfg.LocalBatch, s.Cfg.LocalLR, rng); err != nil {
+			return err
+		}
+		if s.Cfg.Checkpoint.Enabled() && !out.final && (t+1)%s.Cfg.Checkpoint.EveryN() == 0 {
+			// End-of-round device snapshot: the trained model a restarted
+			// device warm-rejoins with (resumeDevice). Synchronous — a
+			// device's round is compute-dominated, and the loop must not
+			// advance past state it claims to have persisted.
+			if err := s.writeDeviceSnapshot(dev.ID, t+1, header, pkg); err != nil {
+				return err
+			}
+		}
+		if out.final {
+			break
+		}
+	}
+	return nil
+}
+
+// downlinkOutcome is what one round's downlink wait resolved to:
+// either a cutoff (cut, with done marking the end of the run) or a
+// decoded personalized set.
+type downlinkOutcome struct {
+	cut     bool
+	done    bool
+	layers  [][]float64
+	discard int
+	final   bool
+}
+
+// awaitDownlink blocks until round t's downlink (or its cutoff)
+// arrives from the edge, working the session control plane while it
+// waits. Anything from the wrong sender, a duplicate, or an
+// out-of-order round is a protocol violation named after the sender
+// and kind — mirroring the edge's upload hardening — except inside a
+// restarted edge's resume window, where a SESSION-RESUME triggers
+// retransmission of the buffered uploads and the re-run rounds'
+// duplicate downlinks (byte-identical to the copies already applied)
+// are dropped unread.
+func (s *System) awaitDownlink(ctx context.Context, ses *transport.Session, edge string, t int, enc *deltaEncoder, downDec *deltaDecoder, buf *uplinkBuffer, resumed *bool) (downlinkOutcome, error) {
+	for {
+		msg, err := ses.Recv(ctx)
+		if err != nil {
+			return downlinkOutcome{}, err
 		}
 		if msg.Kind == transport.KindControl {
 			rec, err := transport.ParseControl(msg)
 			msg.Release() // record fully copied out of the payload
 			if err != nil {
-				return err
+				return downlinkOutcome{}, err
 			}
 			if rec.Type == wire.ControlMemberGone && msg.From == edge {
 				// Evicted: the edge's detector crossed the strike limit
 				// on our uploads. Exit without reporting.
-				return errEvicted
+				return downlinkOutcome{}, errEvicted
+			}
+			if s.Cfg.Checkpoint.Enabled() &&
+				(rec.Type == wire.ControlJoin || rec.Type == wire.ControlLeave) {
+				// Link lifecycle noise from a crashing or restarting peer's
+				// transport. In a checkpointed run the edge's death is not
+				// the end of the session — anything final still arrives as
+				// a Done cutoff before the link goes down — so wait on.
+				continue
+			}
+			if rec.Type == wire.ControlSessionResume && msg.From == edge {
+				// The edge restarted from its checkpoint and re-runs the
+				// loop from rec.Round: whatever uploads it held for those
+				// rounds died with it, so retransmit our buffered copies
+				// and keep waiting — round t's downlink is still coming.
+				if err := buf.resend(s, ses.Node(), edge, rec.Round); err != nil {
+					return downlinkOutcome{}, err
+				}
+				*resumed = true
+				continue
 			}
 			if rec.Type != wire.ControlRoundCutoff || msg.From != edge {
-				return fmt.Errorf("unexpected %v control from %s during refinement round %d", rec.Type, msg.From, t)
+				return downlinkOutcome{}, fmt.Errorf("unexpected %v control from %s during refinement round %d", rec.Type, msg.From, t)
 			}
 			if rec.Round != t && !rec.Done {
-				return fmt.Errorf("round-cutoff from %s carries round %d during round %d", msg.From, rec.Round, t)
+				return downlinkOutcome{}, fmt.Errorf("round-cutoff from %s carries round %d during round %d", msg.From, rec.Round, t)
 			}
 			// A Done cutoff is accepted regardless of its round stamp:
 			// the edge's end-of-loop backstop stamps its own final
@@ -1413,29 +1676,26 @@ func (s *System) deviceLoop(ctx context.Context, ses *transport.Session, dev clu
 			if enc != nil {
 				*enc = deltaEncoder{mode: s.Cfg.Wire.Quantization}
 			}
-			if rec.Done {
-				break
-			}
+			return downlinkOutcome{cut: true, done: rec.Done}, nil
+		}
+		if *resumed && msg.Round < t &&
+			(msg.Kind == transport.KindPersonalizedSet || msg.Kind == transport.KindImportanceDownDelta) {
+			// A restarted edge re-sent a downlink for a round this device
+			// already applied. The retransmitted round replays the exact
+			// upload bytes, so this copy is byte-identical to the one the
+			// shadow already advanced through: drop it unread.
+			msg.Release()
 			continue
 		}
-		psLayers, discard, final, err := s.decodePersonalized(&downDec, msg, edge, t)
+		psLayers, discard, final, err := s.decodePersonalized(downDec, msg, edge, t)
 		// The decoded layers are fresh float64 copies either way, so the
 		// frame buffer can go back to its pool here.
 		msg.Release()
 		if err != nil {
-			return err
+			return downlinkOutcome{}, err
 		}
-		if err := header.ApplyImportance(&importance.Set{Layers: psLayers}, discard); err != nil {
-			return err
-		}
-		if err := header.TrainLocal(local, 1, s.Cfg.LocalBatch, s.Cfg.LocalLR, rng); err != nil {
-			return err
-		}
-		if final {
-			break
-		}
+		return downlinkOutcome{layers: psLayers, discard: discard, final: final}, nil
 	}
-	return nil
 }
 
 // deviceSampledLoop is the device side of the participation-sampled
@@ -1558,7 +1818,9 @@ func (s *System) deviceSampledLoop(ctx context.Context, ses *transport.Session, 
 			sendErr = s.sendRound(transport.KindImportanceSet, name, edge, t, up)
 		}
 		if sendErr != nil {
-			done, rerr := s.recoverFromLostUplink(ctx, ses, edge, t, enc, sendErr)
+			// Sampled runs never checkpoint (Config.Validate rejects the
+			// combination), so no replay buffer and no resume outcome.
+			done, _, rerr := s.recoverFromLostUplink(ctx, ses, edge, t, enc, &uplinkBuffer{}, sendErr)
 			if rerr != nil {
 				return rerr
 			}

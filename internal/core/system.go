@@ -322,6 +322,14 @@ func NewSystemWithNetwork(cfg Config, net transport.Network) (*System, error) {
 		return nil, err
 	}
 	s.Net = net
+	if cfg.Checkpoint.Enabled() {
+		// In a checkpointed session a peer's LEAVE may be a crash about
+		// to be restored on the same address: transports that support it
+		// keep redialing instead of failing fast forever.
+		if rl, ok := net.(interface{ SetRetryLeftPeers(bool) }); ok {
+			rl.SetRetryLeftPeers(true)
+		}
+	}
 	return s, nil
 }
 
@@ -386,6 +394,28 @@ func (s *System) sendRound(kind transport.Kind, from, to string, round int, v an
 	return s.Net.Send(transport.Message{
 		Kind: kind, From: from, To: to, Round: round,
 		Payload: payload, Raw: wire.RawSize(v),
+	})
+}
+
+// encodePayload runs v through the kind's wire codec once and returns
+// the payload bytes plus the raw-size estimate, so a caller can both
+// send the message and retain the exact bytes (the uplink replay
+// buffer retransmits originals after a SESSION-RESUME, keeping a
+// resumed run byte-identical).
+func (s *System) encodePayload(kind transport.Kind, v any) ([]byte, int, error) {
+	payload, err := s.codecFor(kind).Encode(v)
+	if err != nil {
+		return nil, 0, err
+	}
+	return payload, wire.RawSize(v), nil
+}
+
+// sendRaw sends an already-encoded payload as one round-stamped
+// message.
+func (s *System) sendRaw(kind transport.Kind, from, to string, round int, payload []byte, raw int) error {
+	return s.Net.Send(transport.Message{
+		Kind: kind, From: from, To: to, Round: round,
+		Payload: payload, Raw: raw,
 	})
 }
 

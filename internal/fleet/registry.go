@@ -214,6 +214,22 @@ func (r *Registry) Snapshot() []Member {
 	return out
 }
 
+// Restore replaces the registry's entire state with a previously
+// Snapshot-ted member set at the given epoch — the checkpoint/restore
+// path of a crashed session. The restored epoch must carry over
+// exactly: consumers compare epochs to detect membership drift, and a
+// restart is not a membership change.
+func (r *Registry) Restore(members []Member, epoch uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.epoch = epoch
+	r.members = make(map[string]*Member, len(members))
+	for _, m := range members {
+		cp := m
+		r.members[m.Node] = &cp
+	}
+}
+
 // RecordGather folds one round contribution into a member's history:
 // the wire bytes it delivered and the gather wall time its round cost.
 // Unknown nodes are registered dead (history without liveness), so

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"acme/internal/checkpoint"
 )
 
 // Checkpoint is a serialized snapshot of a module's parameter values,
@@ -72,23 +74,31 @@ func ReadCheckpoint(r io.Reader, m Module) error {
 	return Restore(m, cp)
 }
 
-// SaveCheckpoint writes m's parameters to path.
+// SaveCheckpoint writes m's parameters to path inside the versioned,
+// CRC-guarded checkpoint envelope, atomically (temp file + rename), so
+// a torn or bit-rotted file is detected on load instead of silently
+// restoring garbage weights.
 func SaveCheckpoint(path string, m Module) error {
-	var buf bytes.Buffer
-	if err := WriteCheckpoint(&buf, m); err != nil {
-		return err
-	}
-	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+	if err := checkpoint.WriteFile(path, checkpoint.CodecGob, Snapshot(m), false); err != nil {
 		return fmt.Errorf("nn: save checkpoint: %w", err)
 	}
 	return nil
 }
 
-// LoadCheckpoint reads path into m.
+// LoadCheckpoint reads path into m. Envelope files are CRC-verified;
+// legacy bare-gob files (written before the envelope existed) are
+// still read for compatibility.
 func LoadCheckpoint(path string, m Module) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("nn: load checkpoint: %w", err)
+	}
+	if checkpoint.IsEnvelope(raw) {
+		var cp Checkpoint
+		if _, err := checkpoint.Decode(raw, &cp); err != nil {
+			return fmt.Errorf("nn: load checkpoint: %w", err)
+		}
+		return Restore(m, cp)
 	}
 	return ReadCheckpoint(bytes.NewReader(raw), m)
 }

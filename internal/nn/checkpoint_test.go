@@ -1,0 +1,80 @@
+package nn
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"acme/internal/checkpoint"
+	"acme/internal/tensor"
+)
+
+// Checkpoint files now travel in the versioned CRC envelope; files
+// written by older builds are bare gob and must keep loading.
+func TestLoadCheckpointLegacyBareGob(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	bb, err := NewBackbone(BackboneConfig{
+		InputDim: 16, NumPatches: 4, DModel: 8, NumHeads: 2, Hidden: 12, Depth: 2,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A legacy file: the bare gob stream WriteCheckpoint emits, no
+	// envelope around it.
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, bb); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "legacy.ckpt")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bb2, err := NewBackbone(bb.Cfg, rand.New(rand.NewSource(77)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadCheckpoint(path, bb2); err != nil {
+		t.Fatalf("legacy bare-gob checkpoint rejected: %v", err)
+	}
+	x := make([]float64, 16)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	a, err := bb.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bb2.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.Equal(a, b, 1e-12) {
+		t.Fatal("legacy-restored backbone diverges")
+	}
+}
+
+func TestSaveCheckpointWritesEnvelopeAndDetectsRot(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	lin := NewLinear("l", 6, 4, rng)
+	path := filepath.Join(t.TempDir(), "lin.ckpt")
+	if err := SaveCheckpoint(path, lin); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !checkpoint.IsEnvelope(raw) {
+		t.Fatal("SaveCheckpoint no longer writes the envelope")
+	}
+	// Flip one payload bit: the CRC must catch it on load.
+	raw[len(raw)-1] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadCheckpoint(path, NewLinear("l", 6, 4, rng)); err == nil {
+		t.Fatal("bit-rotted checkpoint restored silently")
+	}
+}

@@ -40,14 +40,15 @@ type TCP struct {
 	ReconnectCap      time.Duration
 	ReconnectAttempts int
 
-	mu       sync.Mutex
-	peers    map[string]string // node name → address
-	links    map[string]*link  // node name → supervised send path
-	inConns  map[net.Conn]struct{}
-	listener net.Listener
-	inbox    chan Message
-	closed   bool
-	wg       sync.WaitGroup
+	mu        sync.Mutex
+	peers     map[string]string // node name → address
+	links     map[string]*link  // node name → supervised send path
+	inConns   map[net.Conn]struct{}
+	listener  net.Listener
+	inbox     chan Message
+	closed    bool
+	retryLeft bool
+	wg        sync.WaitGroup
 }
 
 // link is the supervised send path to one peer. Its mutex serializes
@@ -95,6 +96,25 @@ func NewTCP(node, addr string, peers map[string]string) (*TCP, error) {
 
 // Addr returns the bound listener address.
 func (t *TCP) Addr() string { return t.listener.Addr().String() }
+
+// SetRetryLeftPeers makes Send treat a peer's LEAVE as a transient
+// fault — evicted and redialed with the usual backoff — instead of
+// failing fast forever. Checkpointed sessions arm this: a peer that
+// left may be a crashed process about to restart on the same address,
+// and the redial is what heals the send path when the restart's own
+// dial-in loses the connection-adoption tie-break (an edge restarting
+// against its devices is exactly that case).
+func (t *TCP) SetRetryLeftPeers(v bool) {
+	t.mu.Lock()
+	t.retryLeft = v
+	t.mu.Unlock()
+}
+
+func (t *TCP) retryLeftPeers() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.retryLeft
+}
 
 // SetPeers replaces the peer table. Useful when listeners bind
 // ephemeral ports and the full table is only known after every node has
@@ -306,7 +326,10 @@ func (t *TCP) Send(msg Message) error {
 			return fmt.Errorf("transport: network closed")
 		}
 		if l.left {
-			return fmt.Errorf("transport: peer %s left the session", msg.To)
+			if !t.retryLeftPeers() {
+				return fmt.Errorf("transport: peer %s left the session", msg.To)
+			}
+			l.left = false // dial the restarted peer instead of failing fast
 		}
 		if l.conn == nil {
 			// A peer missing from the table is a configuration error,

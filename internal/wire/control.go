@@ -53,6 +53,14 @@ const (
 	// previously departed device re-entered the run via RESYNC-REQUEST,
 	// so the collector should expect its report after all.
 	ControlMemberBack
+	// ControlSessionResume is broadcast by an edge that restarted from
+	// a durable checkpoint: Round names the round the snapshot resumes
+	// at, and every device must retransmit its buffered uploads for
+	// that round onward (the originals may have died in the crashed
+	// process's inbox). Uploads the edge had already folded arrive a
+	// second time; the resumed session tolerates duplicates inside the
+	// resume window instead of erroring.
+	ControlSessionResume
 )
 
 // String implements fmt.Stringer.
@@ -72,6 +80,8 @@ func (t ControlType) String() string {
 		return "member-gone"
 	case ControlMemberBack:
 		return "member-back"
+	case ControlSessionResume:
+		return "session-resume"
 	default:
 		return fmt.Sprintf("ControlType(%d)", uint8(t))
 	}
@@ -79,7 +89,7 @@ func (t ControlType) String() string {
 
 // Valid reports whether t is a known control verb.
 func (t ControlType) Valid() bool {
-	return t >= ControlJoin && t <= ControlMemberBack
+	return t >= ControlJoin && t <= ControlSessionResume
 }
 
 // ControlRecord is the typed payload of every control-plane message.

@@ -16,6 +16,7 @@ func TestControlRecordRoundTrip(t *testing.T) {
 		{Type: ControlRoundInvite, Device: 0, Round: 9, Done: true},
 		{Type: ControlMemberGone, Node: "edge-1", Device: 6},
 		{Type: ControlMemberBack, Node: "edge-1", Device: 6, Round: 4},
+		{Type: ControlSessionResume, Node: "edge-0", Round: 5},
 	}
 	for _, in := range records {
 		raw, err := EncodeControl(in)
@@ -56,7 +57,7 @@ func TestControlRecordRejectsUnknownType(t *testing.T) {
 func TestControlTypeStrings(t *testing.T) {
 	seen := map[string]bool{}
 	for _, ct := range []ControlType{ControlJoin, ControlLeave, ControlResyncRequest, ControlRoundCutoff,
-		ControlRoundInvite, ControlMemberGone, ControlMemberBack} {
+		ControlRoundInvite, ControlMemberGone, ControlMemberBack, ControlSessionResume} {
 		if !ct.Valid() {
 			t.Fatalf("%v not valid", ct)
 		}
