@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-json3 bench-json4 bench-json5 bench-json6 bench-json7 bench-json8 bench-compare churn-smoke fleet-smoke chaos-smoke restore-smoke fuzz fmt fmt-check vet ci
+.PHONY: all build test race bench bench-json bench-json3 bench-json4 bench-json5 bench-json6 bench-json7 bench-json8 bench-json9 bench-compare churn-smoke fleet-smoke chaos-smoke restore-smoke sched-smoke fuzz fmt fmt-check vet ci
 
 all: build test
 
@@ -18,12 +18,17 @@ race:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./internal/tensor ./internal/wire ./internal/core ./internal/aggregate ./internal/importance
 
-# bench-json regenerates BENCH_9.json: the kill/restore equivalence
-# trial (reports bitwise-identical after an edge crash + restore), the
-# checkpoint durability tax (median wall overhead, gated < 5%), the
-# adversarial trial matrix re-run with the replay screen armed, and the
-# BENCH_7 continuity configs (dense/delta wire bytes, byte-identical).
+# bench-json regenerates BENCH_10.json: the Pareto round scheduler vs
+# the uniform participation draw under a straggling heterogeneous fleet
+# (bytes per accuracy point, gated strictly under the uniform baseline),
+# the kill/restore equivalence trial over a participation-sampled fleet,
+# and the BENCH_7 continuity configs (dense/delta wire bytes, must stay
+# byte-identical).
 bench-json:
+	$(GO) run ./cmd/acmebench -exp bench10 -bench10json BENCH_10.json
+
+# bench-json9 regenerates the PR 9 crash-tolerance trajectory.
+bench-json9:
 	$(GO) run ./cmd/acmebench -exp bench9 -bench9json BENCH_9.json
 
 # bench-json8 regenerates the PR 8 adversarial-matrix trajectory.
@@ -83,6 +88,12 @@ fleet-smoke:
 restore-smoke:
 	$(GO) test -run 'TestRestoreSmokeTCP' -count=1 -v -timeout 600s ./internal/core
 
+# sched-smoke runs the Pareto round scheduler against the uniform draw
+# over loopback TCP: picks must be identical across transports and two
+# seeded runs, and an observed straggler must never be re-invited.
+sched-smoke:
+	$(GO) test -run 'TestSchedulerDeterminismMemory|TestSchedSmokeTCP' -count=1 -v -timeout 600s ./internal/core
+
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=20s ./internal/wire
 	$(GO) test -run='^$$' -fuzz=FuzzReadFrame -fuzztime=20s ./internal/transport
@@ -99,4 +110,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: fmt-check vet build test race bench bench-compare churn-smoke fleet-smoke chaos-smoke restore-smoke
+ci: fmt-check vet build test race bench bench-compare churn-smoke fleet-smoke chaos-smoke restore-smoke sched-smoke

@@ -45,6 +45,7 @@ func run() error {
 	bench7JSON := flag.String("bench7json", "BENCH_7.json", "output path for the bench7 wire-floor JSON (bench7 pins its own entropy on/off variants)")
 	bench8JSON := flag.String("bench8json", "BENCH_8.json", "output path for the bench8 adversarial-matrix JSON (bench8 pins its own strategy × lie-prob × link sweep)")
 	bench9JSON := flag.String("bench9json", "BENCH_9.json", "output path for the bench9 crash-tolerance JSON (bench9 pins its own kill/restore, overhead, and adversarial cells)")
+	bench10JSON := flag.String("bench10json", "BENCH_10.json", "output path for the bench10 scheduler JSON (bench10 pins its own pareto-vs-uniform, sampled-restore, and continuity cells)")
 	flag.Parse()
 	tensor.SetParallelism(*parallel)
 	qm, err := core.ParseQuantMode(*quant)
@@ -88,12 +89,13 @@ func run() error {
 		{"bench7", func() (*experiments.Table, error) { return experiments.Bench7JSON(*bench7JSON) }},
 		{"bench8", func() (*experiments.Table, error) { return experiments.Bench8JSON(*bench8JSON) }},
 		{"bench9", func() (*experiments.Table, error) { return experiments.Bench9JSON(*bench9JSON) }},
+		{"bench10", func() (*experiments.Table, error) { return experiments.Bench10JSON(*bench10JSON) }},
 	}
-	// bench3/bench4/bench5/bench6/bench7/bench8/bench9 rewrite the
-	// checked-in BENCH_N.json files and add several full system runs
+	// bench3/bench4/bench5/bench6/bench7/bench8/bench9/bench10 rewrite
+	// the checked-in BENCH_N.json files and add several full system runs
 	// each, so they never ride along with -exp all — they only run when
 	// named explicitly (as make bench-json does).
-	explicitOnly := map[string]bool{"bench3": true, "bench4": true, "bench5": true, "bench6": true, "bench7": true, "bench8": true, "bench9": true}
+	explicitOnly := map[string]bool{"bench3": true, "bench4": true, "bench5": true, "bench6": true, "bench7": true, "bench8": true, "bench9": true, "bench10": true}
 
 	want := map[string]bool{}
 	all := *exp == "all"

@@ -53,6 +53,8 @@ func run() error {
 	straggle := flag.Duration("straggle", 0, "artificially delay device 0's upload by this much every round (identical across processes; pairs with -quorum/-cutoff)")
 	sampleFrac := flag.Float64("sample-frac", 0, "per-round participation fraction in (0,1) (identical across processes)")
 	sampleSeed := flag.Int64("sample-seed", 0, "participation sampling seed, 0 = derive from -seed (identical across processes)")
+	schedMode := flag.String("sched", "", "round scheduler: uniform or pareto (identical across processes; pareto needs -sample-frac)")
+	schedWeights := flag.String("sched-weights", "", "pareto scheduler objective weights, positional or named (identical across processes)")
 	sharedShards := flag.Bool("shared-shards", false, "share one training shard per data group across its devices (identical across processes)")
 	rejoin := flag.Bool("rejoin", false, "device roles only: rejoin a run already in progress via a dense resync instead of the setup handshake")
 	ckptPath := flag.String("ckpt-path", "", "checkpoint directory: write durable session snapshots at round boundaries (identical across processes)")
@@ -114,6 +116,10 @@ func run() error {
 	}
 	cfg.Fleet.SampleFrac = *sampleFrac
 	cfg.Fleet.SampleSeed = *sampleSeed
+	cfg.Fleet.Scheduler.Mode = *schedMode
+	if cfg.Fleet.Scheduler.Weights, err = acme.ParseSchedulerWeights(*schedWeights); err != nil {
+		return err
+	}
 	cfg.Fleet.SharedShards = *sharedShards
 	if *byzStrategy != "" {
 		cfg.Fleet.Byzantine = acme.ByzantineOptions{

@@ -45,6 +45,8 @@ func run() error {
 	straggle := flag.Duration("straggle", 0, "artificially delay device 0's upload by this much every round (a deterministic straggler for -quorum/-cutoff demos)")
 	sampleFrac := flag.Float64("sample-frac", 0, "per-round participation fraction in (0,1): each round every edge invites only a seeded sample of its live devices (0 = full participation)")
 	sampleSeed := flag.Int64("sample-seed", 0, "participation sampling seed (0 = derive from -seed)")
+	schedMode := flag.String("sched", "", "round scheduler: uniform (seeded draw, default) or pareto (score live members over gain/bytes/latency/energy and pick from the non-dominated frontier; needs -sample-frac)")
+	schedWeights := flag.String("sched-weights", "", "pareto scheduler objective weights: \"gain,bytes,latency,energy\" or named \"gain=2,bytes=1\" (default flat)")
 	sharedShards := flag.Bool("shared-shards", false, "share one training shard per data group across its devices (memory scaling for thousands of simulated devices)")
 	chaosOn := flag.Bool("chaos", false, "wrap the in-memory transport in the seeded link-fault model (timing only — seeded results are identical with it on or off)")
 	chaosSeed := flag.Int64("chaos-seed", 0, "link-fault schedule seed (0 = derive from -seed)")
@@ -104,6 +106,10 @@ func run() error {
 	}
 	cfg.Fleet.SampleFrac = *sampleFrac
 	cfg.Fleet.SampleSeed = *sampleSeed
+	cfg.Fleet.Scheduler.Mode = *schedMode
+	if cfg.Fleet.Scheduler.Weights, err = acme.ParseSchedulerWeights(*schedWeights); err != nil {
+		return err
+	}
 	cfg.Fleet.SharedShards = *sharedShards
 	if *chaosOn {
 		cfg.Chaos = acme.ChaosOptions{

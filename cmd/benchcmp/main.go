@@ -16,8 +16,12 @@
 // metric fails when it rises by more than 0.05. A "*_overhead_frac"
 // metric (BENCH_9's durability tax) is an absolute ceiling: it fails
 // whenever the newer value exceeds 0.05, regardless of the older one.
-// Metrics or configs present in only one file are reported but do not
-// fail the run.
+// A "*_vs_uniform_ratio" metric (BENCH_10's scheduler win) is likewise
+// an absolute ceiling — the scored scheduler must beat its uniform
+// baseline, so the newer value failing to land strictly under 1.0
+// fails the run even when the older file has no such metric.
+// Other metrics or configs present in only one file are reported but
+// do not fail the run.
 //
 //	benchcmp            # compare the two newest BENCH_*.json in .
 //	benchcmp A.json B.json  # compare A (older) against B (newer)
@@ -47,6 +51,11 @@ const (
 	// checkpointing must stay under 5% of the plain wall no matter what
 	// the previous PR measured.
 	overheadCeiling = 0.05 // fail when an _overhead_frac metric exceeds this
+
+	// The scheduler's bytes-per-accuracy-point must stay strictly under
+	// its uniform baseline: a _vs_uniform_ratio metric at or above 1.0
+	// means the scored picks no longer pay for themselves.
+	uniformRatioCeiling = 1.0
 )
 
 func main() {
@@ -119,7 +128,8 @@ func wireMetrics(path string) (map[string]map[string]float64, error) {
 		for k, v := range obj {
 			if !strings.HasSuffix(k, "_bytes_total") &&
 				!strings.HasSuffix(k, "_tpr") && !strings.HasSuffix(k, "_fpr") &&
-				!strings.HasSuffix(k, "_overhead_frac") {
+				!strings.HasSuffix(k, "_overhead_frac") &&
+				!strings.HasSuffix(k, "_vs_uniform_ratio") {
 				continue
 			}
 			switch t := v.(type) {
@@ -179,6 +189,26 @@ func run(args []string) error {
 		prevMetrics, ok := prev[name]
 		if !ok {
 			fmt.Printf("  %-28s new config, no baseline\n", name)
+			// Absolute ceilings still apply to brand-new configs: a
+			// *_vs_uniform_ratio is gated against 1.0, baseline or not.
+			keys := make([]string, 0, len(cur[name]))
+			for k := range cur[name] {
+				if strings.HasSuffix(k, "_vs_uniform_ratio") {
+					keys = append(keys, k)
+				}
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				now := cur[name][k]
+				compared++
+				status := "ok"
+				if now >= uniformRatioCeiling {
+					status = "REGRESSION"
+					regressions++
+				}
+				fmt.Printf("  %-28s %-28s %12s → %12.3f (ceiling %.1f) %s\n",
+					name, k, "(none)", now, uniformRatioCeiling, status)
+			}
 			continue
 		}
 		keys := make([]string, 0, len(cur[name]))
@@ -187,12 +217,28 @@ func run(args []string) error {
 		}
 		sort.Strings(keys)
 		for _, k := range keys {
+			now := cur[name][k]
+			if strings.HasSuffix(k, "_vs_uniform_ratio") {
+				compared++
+				status := "ok"
+				if now >= uniformRatioCeiling {
+					status = "REGRESSION"
+					regressions++
+				}
+				if was, ok := prevMetrics[k]; ok {
+					fmt.Printf("  %-28s %-28s %12.3f → %12.3f (ceiling %.1f) %s\n",
+						name, k, was, now, uniformRatioCeiling, status)
+				} else {
+					fmt.Printf("  %-28s %-28s %12s → %12.3f (ceiling %.1f) %s\n",
+						name, k, "(none)", now, uniformRatioCeiling, status)
+				}
+				continue
+			}
 			was, ok := prevMetrics[k]
 			if !ok {
 				fmt.Printf("  %-28s %s: new metric, no baseline\n", name, k)
 				continue
 			}
-			now := cur[name][k]
 			compared++
 			status := "ok"
 			switch {

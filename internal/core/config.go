@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"acme/internal/chaos"
@@ -17,6 +18,7 @@ import (
 	"acme/internal/nn"
 	"acme/internal/pareto"
 	"acme/internal/prune"
+	"acme/internal/sched"
 	"acme/internal/transport"
 )
 
@@ -258,12 +260,58 @@ type FleetOptions struct {
 	// Byzantine injects lying devices; Detect is the edge-side defense.
 	Byzantine ByzantineOptions
 	Detect    DetectOptions
+	// Scheduler upgrades the per-round draw from uniform to scored (see
+	// SchedulerOptions); it only applies while Sampling() is true.
+	Scheduler SchedulerOptions
+}
+
+// SchedulerOptions selects how each round's participation subset is
+// drawn from the live membership.
+type SchedulerOptions struct {
+	// Mode is the picker: "" or "uniform" keeps PR 6's seeded uniform
+	// draw (the bitwise-pinned reference); "pareto" scores every live
+	// member on (information gain, upload bytes, latency, energy) and
+	// picks from the non-dominated grid frontier (internal/sched).
+	Mode string
+	// Weights scales the pareto scheduler's four objectives; the zero
+	// value means flat (all ones).
+	Weights sched.Weights
+	// Intervals is the dominance grid resolution per objective (0 =
+	// sched default).
+	Intervals int
+}
+
+// Pareto reports whether the scored scheduler is selected.
+func (o SchedulerOptions) Pareto() bool { return o.Mode == "pareto" }
+
+// Validate reports scheduler-option errors.
+func (o SchedulerOptions) Validate() error {
+	switch o.Mode {
+	case "", "uniform", "pareto":
+	default:
+		return fmt.Errorf("core: unknown scheduler mode %q (want uniform or pareto)", o.Mode)
+	}
+	if o.Intervals < 0 {
+		return fmt.Errorf("core: scheduler grid intervals %d negative", o.Intervals)
+	}
+	for _, w := range []float64{o.Weights.Gain, o.Weights.Bytes, o.Weights.Latency, o.Weights.Energy} {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return fmt.Errorf("core: scheduler weights %v must be finite and non-negative", o.Weights)
+		}
+	}
+	return nil
 }
 
 // Validate reports fleet-option errors.
 func (f FleetOptions) Validate() error {
 	if f.SampleFrac < 0 || f.SampleFrac > 1 {
 		return fmt.Errorf("core: participation sample fraction %v outside [0,1]", f.SampleFrac)
+	}
+	if err := f.Scheduler.Validate(); err != nil {
+		return err
+	}
+	if f.Scheduler.Pareto() && !f.Sampling() {
+		return fmt.Errorf("core: scheduler mode %q needs participation sampling (-sample-frac in (0,1))", f.Scheduler.Mode)
 	}
 	return f.Byzantine.Validate()
 }
@@ -599,12 +647,6 @@ func (c Config) Validate() error {
 	}
 	if err := c.Checkpoint.Validate(); err != nil {
 		return err
-	}
-	if c.Checkpoint.Enabled() && c.Fleet.Sampling() {
-		// The resume protocol replays position-keyed per-round exchanges;
-		// the invite-driven sampled loop has no per-device round buffer
-		// to replay yet.
-		return fmt.Errorf("core: checkpoint restore does not yet compose with participation sampling")
 	}
 	switch {
 	case c.NumClasses <= 0:

@@ -85,13 +85,49 @@ func TestRestoreEquivalenceMemory(t *testing.T) {
 	baseCfg.Checkpoint = CheckpointOptions{}
 	want := sortedReports(runPlain(t, baseCfg))
 
+	got := sortedReports(runKillRestore(t, cfg, edgeName(slowEdge)))
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("kill-and-restore run diverged from the uninterrupted run:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestRestoreEquivalenceSampledMemory extends the equivalence claim to
+// a participation-sampled fleet: killing and restoring an edge mid-loop
+// while only half the cluster plays each round must still reproduce the
+// uninterrupted run byte for byte. The restored edge re-derives the
+// same per-round picks (the draw depends only on seed, round, and
+// membership), its re-invites for already-played rounds are dropped by
+// the devices, and the retransmitted upload buffers answer the re-run
+// gathers.
+func TestRestoreEquivalenceSampledMemory(t *testing.T) {
+	cfg := restoreConfig(t.TempDir())
+	cfg.Fleet.Spec.DevicesPerCluster = 4
+	cfg.Fleet.SampleFrac = 0.5
+	slowID, slowEdge := slowDeviceInLargestCluster(t, cfg)
+	cfg.Straggler.SlowDeviceID = slowID
+	cfg.Straggler.SlowDeviceDelay = 50 * time.Millisecond
+
+	baseCfg := cfg
+	baseCfg.Checkpoint = CheckpointOptions{}
+	want := sortedReports(runPlain(t, baseCfg))
+
+	got := sortedReports(runKillRestore(t, cfg, edgeName(slowEdge)))
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("sampled kill-and-restore run diverged from the uninterrupted run:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// runKillRestore runs cfg on the in-memory transport, kills the named
+// edge once its checkpoint proves the loop is mid-flight, restores it
+// from the snapshot, and returns the collector's result.
+func runKillRestore(t *testing.T, cfg Config, victim string) *Result {
+	t.Helper()
 	sys, err := NewSystem(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
 	defer cancel()
-	victim := edgeName(slowEdge)
 	victimCtx, kill := context.WithCancel(ctx)
 	defer kill()
 
@@ -152,10 +188,7 @@ func TestRestoreEquivalenceMemory(t *testing.T) {
 	if collected == nil {
 		t.Fatal("collector returned no result")
 	}
-	got := sortedReports(collected)
-	if !reflect.DeepEqual(got, want) {
-		t.Fatalf("kill-and-restore run diverged from the uninterrupted run:\ngot  %+v\nwant %+v", got, want)
-	}
+	return collected
 }
 
 // TestCheckpointContinuity: arming checkpoints without any crash must
@@ -410,10 +443,15 @@ func TestCheckpointValidation(t *testing.T) {
 	cfg := tinyConfig()
 	cfg.Checkpoint.Path = t.TempDir()
 	cfg.Fleet.SampleFrac = 0.5
-	if err := cfg.Validate(); err == nil {
-		t.Fatal("checkpoint + participation sampling accepted")
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("checkpoint + participation sampling rejected: %v", err)
 	}
+	cfg.Fleet.Scheduler.Mode = "pareto"
 	cfg.Fleet.SampleFrac = 0
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("pareto scheduler without participation sampling accepted")
+	}
+	cfg.Fleet.Scheduler.Mode = ""
 	if err := cfg.Validate(); err != nil {
 		t.Fatalf("valid checkpoint config rejected: %v", err)
 	}

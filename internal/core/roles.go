@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"time"
@@ -18,6 +19,7 @@ import (
 	"acme/internal/nn"
 	"acme/internal/pareto"
 	"acme/internal/prune"
+	"acme/internal/sched"
 	"acme/internal/tensor"
 	"acme/internal/transport"
 	"acme/internal/wire"
@@ -406,8 +408,13 @@ type edgeState struct {
 	lastRound int
 
 	sampling bool
-	sampler  fleet.Sampler
-	cutoff   bool
+	sampler  participationPicker
+	// schedTrack arms the scored scheduler's gain telemetry: the fold
+	// path feeds each decoded upload's magnitude into the registry.
+	// Off (uniform mode) the fold path is untouched, keeping
+	// scheduler-off runs byte- and state-identical to PR 6's sampler.
+	schedTrack bool
+	cutoff     bool
 	// gatherEWMA is the adaptive straggler cutoff's smoothed gather
 	// wall in seconds (Config.Straggler.AdaptiveCutoff); 0 until the
 	// first gather completes.
@@ -428,6 +435,92 @@ type edgeState struct {
 	// transit.
 	startRound   int
 	resumedRound int
+}
+
+// participationPicker is the per-round subset draw behind the sampled
+// loop: PR 6's uniform fleet.Sampler or the scored sched.Scheduler,
+// both deterministic functions of (seed, round, live set[, telemetry])
+// behind the same contract — Size(n) = ceil(Frac×n) clamped to [1,n],
+// picks sorted, identical across transports and repeated runs.
+type participationPicker interface {
+	Enabled() bool
+	Size(n int) int
+	Sample(round int, live []string) []string
+}
+
+// schedSource adapts the fleet registry and the cluster's device
+// energy profiles to the scheduler's telemetry view. Everything it
+// serves is deterministic given the run history: the registry series
+// are round-gated EWMAs fed from decoded bytes, and the energy and
+// latency priors are pure functions of the Config-derived device
+// profiles at the cluster's backbone shape.
+type schedSource struct {
+	reg     *fleet.Registry
+	energy  map[string]float64
+	latency map[string]float64
+}
+
+func (src *schedSource) Telemetry(node string, round int) sched.Telemetry {
+	tel := sched.Telemetry{
+		Energy:       src.energy[node],
+		LatencyPrior: src.latency[node],
+		Staleness:    float64(round + 1), // unseen member: maximally stale
+	}
+	if m, ok := src.reg.Lookup(node); ok {
+		tel.Gain = m.GainEWMA
+		tel.GainKnown = m.HaveMag
+		tel.Staleness = float64(round - m.LastRound)
+		tel.UpBytes = m.BytesEWMA
+		// A delta chain survives only adjacent participation: a member
+		// that contributed exactly last round uploads at its EWMA cost;
+		// anyone else re-seeds dense.
+		tel.Warm = m.LastRound == round-1
+		tel.WallSeconds = m.WallEWMA
+	}
+	return tel
+}
+
+// newParetoScheduler builds the scored picker for one edge: frac and
+// seed shared with the uniform sampler (so disabling scoring
+// reproduces its draws), telemetry from the edge's own registry, and
+// per-member energy/latency priors evaluated at the cluster backbone.
+func (s *System) newParetoScheduler(st *edgeState) *sched.Scheduler {
+	src := &schedSource{
+		reg:     st.reg,
+		energy:  make(map[string]float64, len(st.order)),
+		latency: make(map[string]float64, len(st.order)),
+	}
+	for _, di := range st.order {
+		dev := s.devices[di]
+		src.energy[dev.Name()] = dev.Profile.Energy(st.pkg.Backbone.W, st.pkg.Backbone.D)
+		src.latency[dev.Name()] = dev.Profile.Latency(st.pkg.Backbone.W, st.pkg.Backbone.D)
+	}
+	o := s.Cfg.Fleet.Scheduler
+	return &sched.Scheduler{
+		Frac:      s.Cfg.Fleet.SampleFrac,
+		Seed:      s.Cfg.SampleSeed(),
+		Weights:   o.Weights,
+		Intervals: o.Intervals,
+		Source:    src,
+	}
+}
+
+// importanceMagnitude is the deterministic scalar the scheduler's gain
+// telemetry tracks: the mean absolute value over an upload's decoded
+// layers. Fixed iteration order, so identical across transports.
+func importanceMagnitude(layers [][]float64) float64 {
+	var sum float64
+	var n int
+	for _, l := range layers {
+		for _, v := range l {
+			sum += math.Abs(v)
+		}
+		n += len(l)
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
 }
 
 // inResumeWindow reports whether round t is close enough to a restore
@@ -467,6 +560,10 @@ func (s *System) newEdgeState(edgeID int, ses *transport.Session, pkg HeaderPack
 		sampler:      fleet.Sampler{Frac: s.Cfg.Fleet.SampleFrac, Seed: s.Cfg.SampleSeed()},
 		cutoff:       s.cutoffEnabled(),
 		resumedRound: -1,
+	}
+	if s.Cfg.Fleet.Scheduler.Pareto() {
+		st.schedTrack = true
+		st.sampler = s.newParetoScheduler(st)
 	}
 	for i, di := range order {
 		st.pos[s.devices[di].ID] = i
@@ -634,6 +731,14 @@ func (s *System) edgeRounds(ctx context.Context, st *edgeState, writer *snapshot
 					return fmt.Errorf("%v from %s (device %d): %w", msg.Kind, msg.From, devID, err)
 				}
 				rs.DeltaMessages++
+			}
+			if st.schedTrack {
+				// Scored-scheduler telemetry: the decoded upload's
+				// magnitude feeds the gain objective. After the duplicate
+				// checks — and round-gated again inside the registry — so
+				// a restored run's retransmissions fold at most once and
+				// the telemetry series replays identically.
+				reg.RecordImportance(nameByPos[p], t, importanceMagnitude(layers))
 			}
 			if detect != nil {
 				// Detection mode: hold the upload until the gather ends —
@@ -1430,7 +1535,7 @@ func (s *System) deviceRefineAndReport(ctx context.Context, ses *transport.Sessi
 // restarts cold (the edge dropped our upload) and the loop moves on.
 func (s *System) deviceLoop(ctx context.Context, ses *transport.Session, dev cluster.Device, edgeID int, rng *rand.Rand, local *data.Dataset, header *nas.HeaderModel, pkg HeaderPackage, startRound int) error {
 	if s.Cfg.Fleet.Sampling() {
-		return s.deviceSampledLoop(ctx, ses, dev, edgeID, rng, local, header, startRound)
+		return s.deviceSampledLoop(ctx, ses, dev, edgeID, rng, local, header, pkg, startRound)
 	}
 	name := ses.Node()
 	edge := edgeName(edgeID)
@@ -1657,6 +1762,14 @@ func (s *System) awaitDownlink(ctx context.Context, ses *transport.Session, edge
 				*resumed = true
 				continue
 			}
+			if s.Cfg.Checkpoint.Enabled() && rec.Type == wire.ControlRoundInvite &&
+				msg.From == edge && rec.Round <= t {
+				// A restarted edge re-running sampled rounds this device
+				// already played: the retransmitted upload buffer answers
+				// the re-invite, so it is not a new participation — drop
+				// it and keep waiting for round t's downlink.
+				continue
+			}
 			if rec.Type != wire.ControlRoundCutoff || msg.From != edge {
 				return downlinkOutcome{}, fmt.Errorf("unexpected %v control from %s during refinement round %d", rec.Type, msg.From, t)
 			}
@@ -1710,7 +1823,15 @@ func (s *System) awaitDownlink(ctx context.Context, ses *transport.Session, edge
 // its own lastSampled history, so a resampled device re-seeds dense
 // with no extra signaling. The loop ends on a Done downlink or a Done
 // ROUND-CUTOFF (the edge's end-of-run broadcast to uninvited members).
-func (s *System) deviceSampledLoop(ctx context.Context, ses *transport.Session, dev cluster.Device, edgeID int, rng *rand.Rand, local *data.Dataset, header *nas.HeaderModel, startRound int) error {
+//
+// With checkpointing on the loop carries the same resume machinery as
+// the self-paced deviceLoop: every upload is encoded once and retained
+// in the replay buffer, a restarted edge's SESSION-RESUME triggers a
+// byte-exact retransmission, and the re-run rounds' duplicates — both
+// re-invites for rounds already played and downlinks already applied —
+// are dropped unread, so a killed-and-restored edge finishes with
+// reports identical to the uninterrupted run.
+func (s *System) deviceSampledLoop(ctx context.Context, ses *transport.Session, dev cluster.Device, edgeID int, rng *rand.Rand, local *data.Dataset, header *nas.HeaderModel, pkg HeaderPackage, startRound int) error {
 	name := ses.Node()
 	edge := edgeName(edgeID)
 	topK := s.Cfg.Wire.TopKFraction > 0 && s.Cfg.Wire.TopKFraction < 1
@@ -1721,6 +1842,13 @@ func (s *System) deviceSampledLoop(ctx context.Context, ses *transport.Session, 
 	var downDec deltaDecoder
 	liar := s.liarFor(dev.ID)
 	acc := importance.NewAccumulator()
+	// buf retains recent encoded uploads for SESSION-RESUME
+	// retransmission; inert (zero retain) unless checkpointing is on.
+	// resumed flips once a restarted edge announced itself, widening
+	// what the waits tolerate.
+	buf := &uplinkBuffer{retain: s.retainRounds()}
+	resumed := false
+	ckpt := s.Cfg.Checkpoint.Enabled()
 	last := startRound - 1
 	for {
 		// Wait for the next invite — or the word that the run is over.
@@ -1731,7 +1859,18 @@ func (s *System) deviceSampledLoop(ctx context.Context, ses *transport.Session, 
 			if err != nil {
 				return err
 			}
-			if msg.Kind != transport.KindControl || msg.From != edge {
+			if msg.Kind != transport.KindControl {
+				if resumed && msg.From == edge && msg.Round <= last &&
+					(msg.Kind == transport.KindPersonalizedSet || msg.Kind == transport.KindImportanceDownDelta) {
+					// A restarted edge re-ran a round this device already
+					// applied; the duplicate downlink is byte-identical to
+					// the copy the shadow advanced through. Drop it unread.
+					msg.Release()
+					continue
+				}
+				return fmt.Errorf("unexpected %v from %s while awaiting a round invite", msg.Kind, msg.From)
+			}
+			if msg.From != edge {
 				return fmt.Errorf("unexpected %v from %s while awaiting a round invite", msg.Kind, msg.From)
 			}
 			rec, err := transport.ParseControl(msg)
@@ -1740,6 +1879,13 @@ func (s *System) deviceSampledLoop(ctx context.Context, ses *transport.Session, 
 			}
 			switch rec.Type {
 			case wire.ControlRoundInvite:
+				if ckpt && rec.Round <= last {
+					// A restarted edge re-running a round already played:
+					// the retransmitted upload buffer answers the
+					// re-invite and the duplicate downlink is dropped
+					// above — not a new participation.
+					continue
+				}
 				t = rec.Round
 				break waitInvite
 			case wire.ControlRoundCutoff:
@@ -1755,6 +1901,22 @@ func (s *System) deviceSampledLoop(ctx context.Context, ses *transport.Session, 
 				// Evicted by the edge's Byzantine detector: no more
 				// invites are coming. Exit without reporting.
 				return errEvicted
+			case wire.ControlSessionResume:
+				// The edge restarted from its checkpoint and re-runs the
+				// loop from rec.Round: retransmit the buffered uploads
+				// that died with it, then keep waiting for a fresh invite.
+				if err := buf.resend(s, name, edge, rec.Round); err != nil {
+					return err
+				}
+				resumed = true
+			case wire.ControlJoin, wire.ControlLeave:
+				if ckpt {
+					// Link lifecycle noise from a crashing or restarting
+					// peer's transport: in a checkpointed run the edge's
+					// death is not the end of the session.
+					continue
+				}
+				return fmt.Errorf("unexpected %v control from %s while awaiting a round invite", rec.Type, msg.From)
 			default:
 				return fmt.Errorf("unexpected %v control from %s while awaiting a round invite", rec.Type, msg.From)
 			}
@@ -1796,13 +1958,15 @@ func (s *System) deviceSampledLoop(ctx context.Context, ses *transport.Session, 
 		if liar != nil {
 			upLayers = liar.Corrupt(t, upLayers)
 		}
-		var sendErr error
+		upKind := transport.KindImportanceSet
+		var upVal any
 		if enc != nil {
 			up, err := enc.encode(dev.ID, t, upLayers)
 			if err != nil {
 				return err
 			}
-			sendErr = s.sendRound(transport.KindImportanceDelta, name, edge, t, up)
+			upKind = transport.KindImportanceDelta
+			upVal = up
 		} else {
 			up := ImportanceUpload{DeviceID: dev.ID}
 			if topK {
@@ -1815,72 +1979,64 @@ func (s *System) deviceSampledLoop(ctx context.Context, ses *transport.Session, 
 			} else {
 				up.Layers = quantizeSet(upLayers)
 			}
-			sendErr = s.sendRound(transport.KindImportanceSet, name, edge, t, up)
+			upVal = up
 		}
+		// Encode once: the same bytes go on the wire and (when
+		// checkpointing is on) into the replay buffer, so a
+		// SESSION-RESUME retransmission is bitwise identical.
+		payload, raw, err := s.encodePayload(upKind, upVal)
+		if err != nil {
+			return err
+		}
+		buf.add(t, upKind, payload, raw)
+		sendErr := s.sendRaw(upKind, name, edge, t, payload, raw)
 		if sendErr != nil {
-			// Sampled runs never checkpoint (Config.Validate rejects the
-			// combination), so no replay buffer and no resume outcome.
-			done, _, rerr := s.recoverFromLostUplink(ctx, ses, edge, t, enc, &uplinkBuffer{}, sendErr)
+			// An undeliverable upload usually means the edge cut us or
+			// shut down; with checkpointing it can instead be a
+			// restarting edge. Read the explanation out of the inbox.
+			done, res, rerr := s.recoverFromLostUplink(ctx, ses, edge, t, enc, buf, sendErr)
 			if rerr != nil {
 				return rerr
 			}
-			s.recordDeviceRound(drs)
-			if done {
-				return nil
+			if !res {
+				s.recordDeviceRound(drs)
+				if done {
+					return nil
+				}
+				continue
 			}
-			continue
+			// The send died against a restarting edge and the buffered
+			// uploads (this round's included) were retransmitted: rejoin
+			// the normal path and wait for the re-run round's downlink.
+			resumed = true
 		}
 		s.recordDeviceRound(drs)
 		// Receive the personalized set for this round, or the
 		// ROUND-CUTOFF that says the round combined without us.
-		msg, err := ses.Recv(ctx)
+		out, err := s.awaitDownlink(ctx, ses, edge, t, enc, &downDec, buf, &resumed)
 		if err != nil {
 			return err
 		}
-		if msg.Kind == transport.KindControl {
-			rec, err := transport.ParseControl(msg)
-			msg.Release() // record fully copied out of the payload
-			if err != nil {
-				return err
-			}
-			if rec.Type == wire.ControlMemberGone && msg.From == edge {
-				// Evicted: the edge's detector crossed the strike limit
-				// on our uploads. Exit without reporting.
-				return errEvicted
-			}
-			if rec.Type != wire.ControlRoundCutoff || msg.From != edge {
-				return fmt.Errorf("unexpected %v control from %s during refinement round %d", rec.Type, msg.From, t)
-			}
-			if rec.Round != t && !rec.Done {
-				return fmt.Errorf("round-cutoff from %s carries round %d during round %d", msg.From, rec.Round, t)
-			}
-			// A Done cutoff is accepted regardless of its round stamp:
-			// the edge's end-of-loop backstop stamps its own final
-			// round, which can trail a rejoined device's self-paced
-			// position, but its meaning — no more downlinks, ever — is
-			// position-independent.
-			if enc != nil {
-				*enc = deltaEncoder{mode: s.Cfg.Wire.Quantization}
-			}
-			if rec.Done {
+		if out.cut {
+			if out.done {
 				return nil
 			}
 			continue
 		}
-		psLayers, discard, final, err := s.decodePersonalized(&downDec, msg, edge, t)
-		// The decoded layers are fresh float64 copies either way, so the
-		// frame buffer can go back to its pool here.
-		msg.Release()
-		if err != nil {
-			return err
-		}
-		if err := header.ApplyImportance(&importance.Set{Layers: psLayers}, discard); err != nil {
+		if err := header.ApplyImportance(&importance.Set{Layers: out.layers}, out.discard); err != nil {
 			return err
 		}
 		if err := header.TrainLocal(local, 1, s.Cfg.LocalBatch, s.Cfg.LocalLR, rng); err != nil {
 			return err
 		}
-		if final {
+		if ckpt && !out.final && (t+1)%s.Cfg.Checkpoint.EveryN() == 0 {
+			// End-of-round device snapshot, as in the self-paced loop: a
+			// restarted device warm-rejoins with this model.
+			if err := s.writeDeviceSnapshot(dev.ID, t+1, header, pkg); err != nil {
+				return err
+			}
+		}
+		if out.final {
 			return nil
 		}
 	}

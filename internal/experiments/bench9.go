@@ -155,6 +155,13 @@ func bench9AwaitEdgeSnapshot(path string, minRound int) (int, error) {
 // snapshot, and requires the finished run's reports to be
 // bitwise-identical to the same seeded run left uninterrupted.
 func bench9RestoreTrial(scen bench9Scenario) (*bench9RestoreCell, error) {
+	return bench9RestoreTrialWith(scen, "restore-kill-edge", nil)
+}
+
+// bench9RestoreTrialWith is bench9RestoreTrial parameterized over the
+// cell name and a config mutation (BENCH_10 reuses the trial over a
+// participation-sampled fleet).
+func bench9RestoreTrialWith(scen bench9Scenario, name string, mutate func(*core.Config)) (*bench9RestoreCell, error) {
 	start := time.Now()
 	dir, err := os.MkdirTemp("", "acme-bench9-")
 	if err != nil {
@@ -164,6 +171,9 @@ func bench9RestoreTrial(scen bench9Scenario) (*bench9RestoreCell, error) {
 
 	cfg := bench9MicroConfig(scen.Rounds)
 	cfg.Seed = scen.BaseSeed
+	if mutate != nil {
+		mutate(&cfg)
+	}
 	slowID, slowEdge, err := bench9SlowDevice(cfg)
 	if err != nil {
 		return nil, err
@@ -254,7 +264,7 @@ func bench9RestoreTrial(scen bench9Scenario) (*bench9RestoreCell, error) {
 		return nil, fmt.Errorf("kill-and-restore run diverged from the uninterrupted run:\ngot  %+v\nwant %+v", got, want)
 	}
 	return &bench9RestoreCell{
-		Name:            "restore-kill-edge",
+		Name:            name,
 		Victim:          victim,
 		KillRound:       killRound,
 		RestoreEqualTPR: 1,

@@ -1,0 +1,121 @@
+package pareto
+
+import (
+	"math"
+	"testing"
+)
+
+// Degenerate-input coverage: the grid must stay well-defined on the
+// edges of its domain — one candidate, a totally dominated pool, and
+// poisoned (NaN/Inf) objective values.
+
+func TestBuildSingleCandidate(t *testing.T) {
+	c := Candidate{W: 1, D: 8, Loss: 0.5, Energy: 100, Size: 1e6, Accuracy: 0.9}
+	g, err := Build([]Candidate{c}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Front) != 1 || g.Front[0] != 0 {
+		t.Fatalf("single candidate must be the whole front: %v", g.Front)
+	}
+	for l := 0; l < 3; l++ {
+		if got := g.Coords[0][l]; got < 1 || got > g.K {
+			t.Fatalf("coord[%d]=%d outside [1,%d]", l, got, g.K)
+		}
+	}
+	got, err := g.Select(2e6)
+	if err != nil || got != c {
+		t.Fatalf("Select = %v, %v; want the only candidate", got, err)
+	}
+	if _, err := g.Select(1e3); err != ErrNoFeasible {
+		t.Fatalf("infeasible cap: err = %v, want ErrNoFeasible", err)
+	}
+}
+
+func TestBuildAllDominatedByOne(t *testing.T) {
+	// Candidate 0 strictly dominates every other in all three
+	// objectives; the front must be exactly {0}.
+	cands := []Candidate{
+		{Loss: 0.1, Energy: 10, Size: 1e5, Accuracy: 0.95},
+		{Loss: 0.9, Energy: 500, Size: 9e6, Accuracy: 0.5},
+		{Loss: 0.8, Energy: 400, Size: 8e6, Accuracy: 0.6},
+		{Loss: 0.7, Energy: 300, Size: 7e6, Accuracy: 0.7},
+	}
+	g, err := Build(cands, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Front) != 1 || g.Front[0] != 0 {
+		t.Fatalf("front = %v, want just the dominator", g.Front)
+	}
+	got, err := g.Select(1e9)
+	if err != nil || got != cands[0] {
+		t.Fatalf("Select = %v, %v; want the dominator", got, err)
+	}
+}
+
+func TestBuildIdenticalCandidates(t *testing.T) {
+	c := Candidate{Loss: 0.5, Energy: 100, Size: 1e6}
+	g, err := Build([]Candidate{c, c, c}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero extent in every objective: everyone shares cell 1 and no one
+	// dominates anyone.
+	if len(g.Front) != 3 {
+		t.Fatalf("identical candidates: front = %v, want all three", g.Front)
+	}
+	if _, err := g.Select(2e6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildNonFiniteObjectives(t *testing.T) {
+	cands := []Candidate{
+		{Loss: 0.5, Energy: 100, Size: 1e6, Accuracy: 0.9},
+		{Loss: math.NaN(), Energy: 90, Size: 9e5},
+		{Loss: 0.4, Energy: math.Inf(1), Size: 8e5},
+		{Loss: math.Inf(-1), Energy: math.NaN(), Size: math.Inf(1)},
+	}
+	g, err := Build(cands, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cands {
+		for l := 0; l < 3; l++ {
+			if got := g.Coords[i][l]; got < 1 || got > g.K {
+				t.Fatalf("cand %d coord[%d]=%d outside [1,%d]", i, l, got, g.K)
+			}
+		}
+	}
+	// Poisoned values pin to the worst cell rather than hijacking the
+	// ideal point: the fully finite candidate must stay selectable.
+	got, err := g.Select(2e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != cands[0] && got != cands[2] {
+		t.Fatalf("Select returned a poisoned candidate: %v", got)
+	}
+	if math.IsNaN(got.Loss) {
+		t.Fatalf("selected candidate has NaN loss: %v", got)
+	}
+}
+
+func TestBuildAllNonFinite(t *testing.T) {
+	cands := []Candidate{
+		{Loss: math.NaN(), Energy: math.NaN(), Size: math.NaN()},
+		{Loss: math.Inf(1), Energy: math.Inf(1), Size: math.Inf(1)},
+	}
+	g, err := Build(cands, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cands {
+		for l := 0; l < 3; l++ {
+			if got := g.Coords[i][l]; got < 1 || got > g.K {
+				t.Fatalf("cand %d coord[%d]=%d outside [1,%d]", i, l, got, g.K)
+			}
+		}
+	}
+}

@@ -98,12 +98,25 @@ func Build(cands []Candidate, cfg Config) (*Grid, error) {
 	for _, c := range g.Candidates {
 		for l := 0; l < 3; l++ {
 			v := c.objective(l)
+			// Non-finite objective values (a diverged candidate's NaN
+			// loss, an Inf energy estimate) are excluded from the grid
+			// extent; coord pins them to the worst cell instead.
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
 			if v < g.ideal[l] {
 				g.ideal[l] = v
 			}
 			if v > g.worst[l] {
 				g.worst[l] = v
 			}
+		}
+	}
+	for l := 0; l < 3; l++ {
+		if g.ideal[l] > g.worst[l] {
+			// No finite value in this objective at all: collapse the
+			// extent so the grid stays well-defined.
+			g.ideal[l], g.worst[l] = 0, 0
 		}
 	}
 	// K = |f¹(θ*) − f¹(θ⁻)| / γp, shared across objectives.
@@ -132,7 +145,12 @@ func Build(cands []Candidate, cfg Config) (*Grid, error) {
 }
 
 // coord computes Ψl = ⌈(f − f* + σ)/r⌉ clamped to [1, K] (Eq. 11).
+// Non-finite values pin to the worst cell K (converting NaN through
+// int is otherwise undefined).
 func (g *Grid) coord(v float64, l int) int {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return g.K
+	}
 	c := int(math.Ceil((v - g.ideal[l] + g.Cfg.Sigma) / g.r[l]))
 	if c < 1 {
 		c = 1
@@ -196,10 +214,13 @@ func (g *Grid) Select(sizeCap float64) (Candidate, error) {
 	if len(feasible) == 0 {
 		return Candidate{}, ErrNoFeasible
 	}
-	// Highest-performance (lowest loss) feasible front model.
+	// Highest-performance (lowest loss) feasible front model. A finite
+	// loss always beats a non-finite one: NaN compares false both ways,
+	// so without the explicit rule a poisoned first candidate would
+	// survive the scan.
 	best := feasible[0]
 	for _, i := range feasible[1:] {
-		if g.Candidates[i].Loss < g.Candidates[best].Loss {
+		if lossBetter(g.Candidates[i].Loss, g.Candidates[best].Loss) {
 			best = i
 		}
 	}
@@ -224,6 +245,16 @@ func (g *Grid) Select(sizeCap float64) (Candidate, error) {
 		winner = best
 	}
 	return g.Candidates[winner], nil
+}
+
+// lossBetter orders losses with finite values ahead of NaN/Inf.
+func lossBetter(a, b float64) bool {
+	af := !math.IsNaN(a) && !math.IsInf(a, 0)
+	bf := !math.IsNaN(b) && !math.IsInf(b, 0)
+	if af != bf {
+		return af
+	}
+	return a < b
 }
 
 // Matcher selects a backbone candidate for a device under a size cap.
